@@ -1,0 +1,172 @@
+//! AER addresses.
+//!
+//! The DAC'17 prototype carries a 10-bit address bus (the DAS1 cochlea
+//! encodes 2 ears × 64 channels × 4 neurons in well under 10 bits), so
+//! [`Address`] is a validated 10-bit value.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Width of the AER address bus in the prototype.
+pub const ADDRESS_BITS: u32 = 10;
+
+/// Largest representable address (`2^10 - 1`).
+pub const MAX_ADDRESS: u16 = (1 << ADDRESS_BITS) - 1;
+
+/// A validated 10-bit AER address: the identity of the "neuron" that
+/// produced a spike.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_aer::address::Address;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Address::new(42)?;
+/// assert_eq!(a.value(), 42);
+/// assert!(Address::new(1024).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Address(u16);
+
+/// Error returned when a raw value does not fit the 10-bit address bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidAddressError {
+    /// The out-of-range raw value.
+    pub value: u16,
+}
+
+impl fmt::Display for InvalidAddressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "address {} exceeds the {ADDRESS_BITS}-bit bus (max {MAX_ADDRESS})", self.value)
+    }
+}
+
+impl Error for InvalidAddressError {}
+
+impl Address {
+    /// Smallest address.
+    pub const MIN: Address = Address(0);
+    /// Largest address on the 10-bit bus.
+    pub const MAX: Address = Address(MAX_ADDRESS);
+
+    /// Creates an address, validating the 10-bit range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidAddressError`] if `value > 1023`.
+    pub fn new(value: u16) -> Result<Address, InvalidAddressError> {
+        if value > MAX_ADDRESS {
+            Err(InvalidAddressError { value })
+        } else {
+            Ok(Address(value))
+        }
+    }
+
+    /// Creates an address by masking the raw value to 10 bits. Useful
+    /// for pseudo-random generators where wrap-around is intended.
+    pub const fn from_raw_masked(value: u16) -> Address {
+        Address(value & MAX_ADDRESS)
+    }
+
+    /// The raw bus value.
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+}
+
+impl TryFrom<u16> for Address {
+    type Error = InvalidAddressError;
+    fn try_from(value: u16) -> Result<Self, Self::Error> {
+        Address::new(value)
+    }
+}
+
+impl From<Address> for u16 {
+    fn from(a: Address) -> u16 {
+        a.0
+    }
+}
+
+impl From<Address> for u64 {
+    fn from(a: Address) -> u64 {
+        a.0 as u64
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::Binary for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_full_10bit_range() {
+        assert_eq!(Address::new(0).unwrap(), Address::MIN);
+        assert_eq!(Address::new(1023).unwrap(), Address::MAX);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = Address::new(1024).unwrap_err();
+        assert_eq!(err.value, 1024);
+        assert!(err.to_string().contains("10-bit"));
+        assert!(Address::try_from(u16::MAX).is_err());
+    }
+
+    #[test]
+    fn masked_constructor_wraps() {
+        assert_eq!(Address::from_raw_masked(1024), Address::new(0).unwrap());
+        assert_eq!(Address::from_raw_masked(1025), Address::new(1).unwrap());
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let a = Address::new(777).unwrap();
+        assert_eq!(u16::from(a), 777);
+        assert_eq!(u64::from(a), 777);
+    }
+
+    #[test]
+    fn formatting() {
+        let a = Address::new(42).unwrap();
+        assert_eq!(a.to_string(), "@42");
+        assert_eq!(format!("{a:b}"), "101010");
+        assert_eq!(format!("{a:x}"), "2a");
+        assert_eq!(format!("{a:o}"), "52");
+    }
+}

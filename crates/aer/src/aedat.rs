@@ -1,0 +1,271 @@
+//! AEDAT 2.0 interchange format.
+//!
+//! The iniLabs/jAER ecosystem (DVS128, DAS1, ...) stores address-event
+//! recordings as `.aedat` files: an ASCII header of `#`-prefixed lines
+//! followed by big-endian records of `(address: u32, timestamp_us:
+//! u32)`. Supporting it means recordings captured from real sensors
+//! can be replayed through this simulator, and simulated streams can
+//! be inspected with jAER.
+//!
+//! Timestamps are microseconds (the jAER convention); sub-microsecond
+//! structure is rounded. Addresses on the wire are 32-bit; this
+//! implementation uses the low 10 bits (the interface's bus) and
+//! rejects events whose address exceeds it.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Read, Write};
+
+use aetr_sim::time::SimTime;
+
+use crate::address::{Address, MAX_ADDRESS};
+use crate::spike::{Spike, SpikeTrain};
+
+/// The header magic line for AEDAT 2.0.
+pub const AEDAT_MAGIC: &str = "#!AER-DAT2.0";
+
+/// Errors decoding an AEDAT stream.
+#[derive(Debug)]
+pub enum AedatError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Missing or wrong magic line.
+    BadMagic {
+        /// The line actually found.
+        found: String,
+    },
+    /// Payload length not a multiple of the 8-byte record size.
+    TruncatedRecord {
+        /// Bytes left over.
+        trailing: usize,
+    },
+    /// An event address above the 10-bit bus.
+    AddressOverflow {
+        /// Record index.
+        index: usize,
+        /// The raw address value.
+        address: u32,
+    },
+    /// Timestamps must be non-decreasing.
+    NonMonotonicTimestamp {
+        /// Record index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for AedatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AedatError::Io(e) => write!(f, "i/o error: {e}"),
+            AedatError::BadMagic { found } => {
+                write!(f, "expected {AEDAT_MAGIC} header, found {found:?}")
+            }
+            AedatError::TruncatedRecord { trailing } => {
+                write!(f, "payload ends with {trailing} trailing bytes (records are 8 bytes)")
+            }
+            AedatError::AddressOverflow { index, address } => {
+                write!(f, "record {index}: address {address} exceeds the 10-bit bus")
+            }
+            AedatError::NonMonotonicTimestamp { index } => {
+                write!(f, "record {index}: timestamp went backwards")
+            }
+        }
+    }
+}
+
+impl Error for AedatError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AedatError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for AedatError {
+    fn from(e: io::Error) -> Self {
+        AedatError::Io(e)
+    }
+}
+
+/// Writes a spike train as an AEDAT 2.0 document.
+///
+/// Timestamps are rounded to whole microseconds. `comment` lines are
+/// embedded in the header (a `#` and newline are added per line).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`. Note a `&mut Vec<u8>` can be
+/// passed wherever a `W: Write` is expected.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_aer::aedat::{read_aedat, write_aedat};
+/// use aetr_aer::address::Address;
+/// use aetr_aer::spike::{Spike, SpikeTrain};
+/// use aetr_sim::time::SimTime;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let train = SpikeTrain::from_sorted(vec![
+///     Spike::new(SimTime::from_us(10), Address::new(3)?),
+/// ])?;
+/// let mut buf = Vec::new();
+/// write_aedat(&train, &["simulated"], &mut buf)?;
+/// let back = read_aedat(&buf[..])?;
+/// assert_eq!(back, train);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_aedat<W: Write>(
+    train: &SpikeTrain,
+    comments: &[&str],
+    mut out: W,
+) -> io::Result<()> {
+    writeln!(out, "{AEDAT_MAGIC}")?;
+    writeln!(out, "# This is a raw AE data file - do not edit")?;
+    writeln!(out, "# Data format is int32 address, int32 timestamp (1us), big endian")?;
+    for c in comments {
+        writeln!(out, "# {c}")?;
+    }
+    for spike in train {
+        let ts_us = (spike.time.as_ps() / 1_000_000) as u32;
+        out.write_all(&u32::from(spike.addr.value()).to_be_bytes())?;
+        out.write_all(&ts_us.to_be_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads an AEDAT 2.0 document into a spike train.
+///
+/// # Errors
+///
+/// Returns [`AedatError`] on I/O failure, a missing magic line,
+/// truncated records, out-of-bus addresses, or non-monotonic
+/// timestamps.
+pub fn read_aedat<R: Read>(reader: R) -> Result<SpikeTrain, AedatError> {
+    let mut reader = io::BufReader::new(reader);
+
+    // Header: '#'-prefixed ASCII lines; the first must be the magic.
+    let mut first = Vec::new();
+    reader.read_until(b'\n', &mut first)?;
+    let first_line = String::from_utf8_lossy(&first).trim_end().to_string();
+    if first_line != AEDAT_MAGIC {
+        return Err(AedatError::BadMagic { found: first_line });
+    }
+    loop {
+        let peek = reader.fill_buf()?;
+        if peek.first() != Some(&b'#') {
+            break;
+        }
+        let mut line = Vec::new();
+        reader.read_until(b'\n', &mut line)?;
+    }
+
+    let mut payload = Vec::new();
+    reader.read_to_end(&mut payload)?;
+    if payload.len() % 8 != 0 {
+        return Err(AedatError::TruncatedRecord { trailing: payload.len() % 8 });
+    }
+
+    let mut spikes = Vec::with_capacity(payload.len() / 8);
+    let mut last_us = 0u32;
+    for (index, rec) in payload.chunks_exact(8).enumerate() {
+        let address = u32::from_be_bytes([rec[0], rec[1], rec[2], rec[3]]);
+        let ts_us = u32::from_be_bytes([rec[4], rec[5], rec[6], rec[7]]);
+        if address > MAX_ADDRESS as u32 {
+            return Err(AedatError::AddressOverflow { index, address });
+        }
+        if ts_us < last_us {
+            return Err(AedatError::NonMonotonicTimestamp { index });
+        }
+        last_us = ts_us;
+        let addr = Address::new(address as u16).expect("range checked above");
+        spikes.push(Spike::new(SimTime::from_us(ts_us as u64), addr));
+    }
+    Ok(SpikeTrain::from_sorted(spikes).expect("monotonicity checked above"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{PoissonGenerator, SpikeSource};
+
+    fn roundtrip(train: &SpikeTrain) -> SpikeTrain {
+        let mut buf = Vec::new();
+        write_aedat(train, &["test"], &mut buf).unwrap();
+        read_aedat(&buf[..]).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_addresses_and_us_timestamps() {
+        let train = PoissonGenerator::new(10_000.0, 512, 5).generate(SimTime::from_ms(50));
+        let back = roundtrip(&train);
+        assert_eq!(back.len(), train.len());
+        for (a, b) in back.iter().zip(train.iter()) {
+            assert_eq!(a.addr, b.addr);
+            // Microsecond rounding only.
+            assert_eq!(a.time.as_ps() / 1_000_000, b.time.as_ps() / 1_000_000);
+        }
+    }
+
+    #[test]
+    fn empty_train_roundtrips() {
+        assert_eq!(roundtrip(&SpikeTrain::new()), SpikeTrain::new());
+    }
+
+    #[test]
+    fn header_is_jaer_compatible() {
+        let mut buf = Vec::new();
+        write_aedat(&SpikeTrain::new(), &["src: aetr simulator"], &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("#!AER-DAT2.0\n"));
+        assert!(text.contains("# src: aetr simulator"));
+        assert!(text.contains("big endian"));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_aedat(&b"#!AER-DAT1.0\n"[..]).unwrap_err();
+        assert!(matches!(err, AedatError::BadMagic { .. }));
+        assert!(err.to_string().contains("AER-DAT2.0"));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let mut buf = Vec::new();
+        write_aedat(&SpikeTrain::new(), &[], &mut buf).unwrap();
+        buf.extend_from_slice(&[1, 2, 3]); // not a full record
+        let err = read_aedat(&buf[..]).unwrap_err();
+        assert!(matches!(err, AedatError::TruncatedRecord { trailing: 3 }));
+    }
+
+    #[test]
+    fn oversized_address_rejected() {
+        let mut buf = Vec::new();
+        write_aedat(&SpikeTrain::new(), &[], &mut buf).unwrap();
+        buf.extend_from_slice(&5000u32.to_be_bytes());
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        let err = read_aedat(&buf[..]).unwrap_err();
+        assert!(matches!(err, AedatError::AddressOverflow { index: 0, address: 5000 }));
+    }
+
+    #[test]
+    fn backwards_time_rejected() {
+        let mut buf = Vec::new();
+        write_aedat(&SpikeTrain::new(), &[], &mut buf).unwrap();
+        for ts in [10u32, 5] {
+            buf.extend_from_slice(&1u32.to_be_bytes());
+            buf.extend_from_slice(&ts.to_be_bytes());
+        }
+        let err = read_aedat(&buf[..]).unwrap_err();
+        assert!(matches!(err, AedatError::NonMonotonicTimestamp { index: 1 }));
+    }
+
+    #[test]
+    fn comment_only_header_then_empty_payload() {
+        let text = format!("{AEDAT_MAGIC}\n# a\n# b\n");
+        let train = read_aedat(text.as_bytes()).unwrap();
+        assert!(train.is_empty());
+    }
+}

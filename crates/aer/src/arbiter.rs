@@ -1,0 +1,258 @@
+//! AER arbiter-tree model.
+//!
+//! Inside a multi-neuron AER chip, thousands of neurons share one
+//! output bus through a binary arbiter tree: simultaneous spike
+//! requests race up the tree, one wins per round, the losers wait.
+//! This serialisation is why AER events never collide — and why a
+//! dense burst smears out in time (each arbitration round costs a
+//! tree traversal).
+//!
+//! The model here reproduces the two observable effects the interface
+//! cares about: *serialisation delay* (per-event bus occupancy plus a
+//! per-level arbitration cost) and *greedy unfairness* (the classic
+//! AER arbiter is not FIFO across sub-trees; we model the standard
+//! tree that favours the sub-tree that last held the token, which can
+//! reorder same-instant events but never starves bounded bursts).
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+use serde::{Deserialize, Serialize};
+
+use aetr_sim::time::{SimDuration, SimTime};
+
+use crate::spike::{Spike, SpikeTrain};
+
+/// Arbiter-tree timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArbiterConfig {
+    /// Tree depth in levels (a chip with `2^depth` leaf groups).
+    pub depth: u32,
+    /// Propagation cost per tree level (request up + grant down).
+    pub level_delay: SimDuration,
+    /// Bus occupancy per granted event (the output handshake).
+    pub service_time: SimDuration,
+}
+
+impl ArbiterConfig {
+    /// A DAS1-scale tree: 128 leaf requests (depth 7), 2 ns per level,
+    /// 100 ns of bus time per event.
+    pub fn das1() -> ArbiterConfig {
+        ArbiterConfig {
+            depth: 7,
+            level_delay: SimDuration::from_ns(2),
+            service_time: SimDuration::from_ns(100),
+        }
+    }
+
+    /// Fixed arbitration latency for one uncontended event.
+    pub fn traversal_delay(&self) -> SimDuration {
+        self.level_delay.saturating_mul(2 * self.depth as u64)
+    }
+
+    /// Worst-case sustained event rate through the arbiter.
+    pub fn max_rate_hz(&self) -> f64 {
+        1.0 / self.service_time.as_secs_f64()
+    }
+}
+
+impl Default for ArbiterConfig {
+    fn default() -> Self {
+        Self::das1()
+    }
+}
+
+/// Per-run arbitration statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArbiterStats {
+    /// Events arbitrated.
+    pub events: u64,
+    /// Events that found the bus busy and had to wait.
+    pub contended: u64,
+    /// Longest wait (arrival to grant).
+    pub max_wait: SimDuration,
+    /// Sum of waits, for the mean.
+    pub total_wait: SimDuration,
+}
+
+impl ArbiterStats {
+    /// Mean wait per event in seconds.
+    pub fn mean_wait_secs(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.total_wait.as_secs_f64() / self.events as f64
+        }
+    }
+}
+
+/// Serialises a spike train through the arbiter tree, returning the
+/// on-bus event times (grant + service order) and statistics.
+///
+/// Input spikes are neuron firing times; output spikes are when each
+/// event's handshake actually starts on the shared bus. Within a
+/// contention episode, grants alternate between the two sub-trees of
+/// the root (the "greedy toggle" behaviour of the classic
+/// Boahen-style arbiter), keyed here by the address LSB of the
+/// pending set.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_aer::arbiter::{arbitrate, ArbiterConfig};
+/// use aetr_aer::address::Address;
+/// use aetr_aer::spike::{Spike, SpikeTrain};
+/// use aetr_sim::time::SimTime;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Two neurons fire simultaneously: the bus serialises them.
+/// let train = SpikeTrain::from_sorted(vec![
+///     Spike::new(SimTime::from_us(1), Address::new(0)?),
+///     Spike::new(SimTime::from_us(1), Address::new(1)?),
+/// ])?;
+/// let (out, stats) = arbitrate(&train, &ArbiterConfig::das1());
+/// assert_eq!(out.len(), 2);
+/// assert!(out.as_slice()[1].time > out.as_slice()[0].time);
+/// assert_eq!(stats.contended, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn arbitrate(train: &SpikeTrain, config: &ArbiterConfig) -> (SpikeTrain, ArbiterStats) {
+    let traversal = config.traversal_delay();
+    let mut stats = ArbiterStats::default();
+    let mut out: Vec<Spike> = Vec::with_capacity(train.len());
+
+    // Pending requests that have arrived but not been granted, keyed
+    // for deterministic toggle behaviour: (side, arrival, addr).
+    let mut pending: BinaryHeap<Reverse<(u8, SimTime, u16)>> = BinaryHeap::new();
+    let mut bus_free_at = SimTime::ZERO;
+    let mut last_side = 1u8;
+    let mut input = train.iter().peekable();
+
+    loop {
+        // Admit every spike that has arrived by the time the bus frees.
+        while let Some(&&next) = input.peek().as_ref() {
+            if next.time <= bus_free_at || pending.is_empty() {
+                let side = (next.addr.value() & 1) as u8;
+                // Toggle preference: the side opposite the last grant
+                // sorts first.
+                let key = side ^ last_side ^ 1;
+                pending.push(Reverse((key ^ 1, next.time, next.addr.value())));
+                input.next();
+            } else {
+                break;
+            }
+        }
+        let Some(Reverse((_, arrival, addr))) = pending.pop() else {
+            if input.peek().is_none() {
+                break;
+            }
+            continue;
+        };
+
+        let earliest = arrival + traversal;
+        let grant = earliest.max(bus_free_at);
+        let wait = grant.saturating_duration_since(arrival + traversal);
+        if !wait.is_zero() {
+            stats.contended += 1;
+        }
+        stats.events += 1;
+        stats.max_wait = stats.max_wait.max(wait);
+        stats.total_wait += wait;
+        last_side = (addr & 1) as u8;
+        bus_free_at = grant + config.service_time;
+        out.push(Spike::new(
+            grant,
+            crate::address::Address::new(addr).expect("input addresses are valid"),
+        ));
+    }
+
+    (SpikeTrain::from_unsorted(out), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::Address;
+    use crate::generator::{PoissonGenerator, SpikeSource};
+
+    fn spike(us: u64, addr: u16) -> Spike {
+        Spike::new(SimTime::from_us(us), Address::new(addr).unwrap())
+    }
+
+    #[test]
+    fn uncontended_events_pay_only_traversal() {
+        let cfg = ArbiterConfig::das1();
+        let train =
+            SpikeTrain::from_sorted(vec![spike(10, 1), spike(20, 2), spike(30, 3)]).unwrap();
+        let (out, stats) = arbitrate(&train, &cfg);
+        assert_eq!(stats.contended, 0);
+        assert_eq!(stats.max_wait, SimDuration::ZERO);
+        for (o, i) in out.iter().zip(train.iter()) {
+            assert_eq!(o.time - i.time, cfg.traversal_delay());
+        }
+    }
+
+    #[test]
+    fn simultaneous_burst_serialises_at_service_rate() {
+        let cfg = ArbiterConfig::das1();
+        let burst: Vec<Spike> = (0..10).map(|i| spike(5, i)).collect();
+        let train = SpikeTrain::from_sorted(burst).unwrap();
+        let (out, stats) = arbitrate(&train, &cfg);
+        assert_eq!(out.len(), 10);
+        assert_eq!(stats.contended, 9);
+        let gaps: Vec<SimDuration> = out.inter_spike_intervals().collect();
+        assert!(gaps.iter().all(|&g| g == cfg.service_time), "gaps {gaps:?}");
+        // Worst wait ~ 9 service times.
+        assert_eq!(stats.max_wait, cfg.service_time * 9);
+    }
+
+    #[test]
+    fn no_event_is_ever_lost() {
+        let cfg = ArbiterConfig::das1();
+        let train = PoissonGenerator::new(2_000_000.0, 128, 3).generate(SimTime::from_ms(2));
+        let n = train.len();
+        let (out, stats) = arbitrate(&train, &cfg);
+        assert_eq!(out.len(), n);
+        assert_eq!(stats.events, n as u64);
+    }
+
+    #[test]
+    fn output_is_time_ordered_and_causal() {
+        let cfg = ArbiterConfig::das1();
+        let train = PoissonGenerator::new(5_000_000.0, 64, 9).generate(SimTime::from_us(500));
+        let (out, _) = arbitrate(&train, &cfg);
+        let mut last = SimTime::ZERO;
+        for o in &out {
+            assert!(o.time >= last);
+            last = o.time;
+        }
+        // Causality: every output time is >= some input time + traversal.
+        let first_in = train.first_time().unwrap();
+        assert!(out.first_time().unwrap() >= first_in + cfg.traversal_delay());
+    }
+
+    #[test]
+    fn overload_grows_waits_linearly() {
+        // Offered 20 Mevt/s >> 10 Mevt/s service rate: waits build up.
+        let cfg = ArbiterConfig::das1();
+        let train = PoissonGenerator::new(20_000_000.0, 64, 1).generate(SimTime::from_us(200));
+        let (_, stats) = arbitrate(&train, &cfg);
+        assert!(stats.max_wait > SimDuration::from_us(50), "max wait {}", stats.max_wait);
+        assert!(stats.mean_wait_secs() > 10e-6);
+    }
+
+    #[test]
+    fn empty_train_is_a_noop() {
+        let (out, stats) = arbitrate(&SpikeTrain::new(), &ArbiterConfig::das1());
+        assert!(out.is_empty());
+        assert_eq!(stats, ArbiterStats::default());
+    }
+
+    #[test]
+    fn config_derived_quantities() {
+        let cfg = ArbiterConfig::das1();
+        assert_eq!(cfg.traversal_delay(), SimDuration::from_ns(28));
+        assert!((cfg.max_rate_hz() - 10e6).abs() < 1.0);
+    }
+}

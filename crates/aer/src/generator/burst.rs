@@ -1,0 +1,219 @@
+//! Bursty (Markov-modulated Poisson) spike generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use aetr_sim::time::{SimDuration, SimTime};
+
+use crate::address::Address;
+use crate::spike::Spike;
+
+use super::SpikeSource;
+
+/// A two-state Markov-modulated Poisson process: the source alternates
+/// between a *burst* state with rate `burst_rate_hz` and an *idle*
+/// state with rate `idle_rate_hz`, with exponentially distributed
+/// sojourn times.
+///
+/// This approximates the on/off envelope of speech driving the silicon
+/// cochlea in Fig. 7a — high-rate bursts (syllables) separated by
+/// near-silence — and is the stress workload for the clock
+/// start/stop path: every burst onset exercises the ring-oscillator
+/// wake-up.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_aer::generator::{BurstGenerator, SpikeSource};
+/// use aetr_sim::time::{SimDuration, SimTime};
+///
+/// let mut gen = BurstGenerator::new(200_000.0, 100.0, SimDuration::from_ms(50),
+///                                   SimDuration::from_ms(150), 64, 1);
+/// let train = gen.generate(SimTime::from_secs(1));
+/// assert!(!train.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BurstGenerator {
+    burst_rate_hz: f64,
+    idle_rate_hz: f64,
+    mean_burst: SimDuration,
+    mean_idle: SimDuration,
+    num_addresses: u16,
+    rng: StdRng,
+    now: SimTime,
+    in_burst: bool,
+    state_ends: SimTime,
+}
+
+impl BurstGenerator {
+    /// Creates a bursty generator.
+    ///
+    /// * `burst_rate_hz` / `idle_rate_hz` — Poisson rates in the two
+    ///   states (idle may be 0 for true silence);
+    /// * `mean_burst` / `mean_idle` — mean sojourn times;
+    /// * `num_addresses` — uniform address range;
+    /// * `seed` — RNG seed for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_rate_hz` is not strictly positive/finite, if
+    /// `idle_rate_hz` is negative or not finite, if either mean sojourn
+    /// is zero, or if `num_addresses` is out of the 10-bit range.
+    pub fn new(
+        burst_rate_hz: f64,
+        idle_rate_hz: f64,
+        mean_burst: SimDuration,
+        mean_idle: SimDuration,
+        num_addresses: u16,
+        seed: u64,
+    ) -> BurstGenerator {
+        assert!(
+            burst_rate_hz.is_finite() && burst_rate_hz > 0.0,
+            "burst rate must be positive and finite, got {burst_rate_hz}"
+        );
+        assert!(
+            idle_rate_hz.is_finite() && idle_rate_hz >= 0.0,
+            "idle rate must be non-negative and finite, got {idle_rate_hz}"
+        );
+        assert!(!mean_burst.is_zero() && !mean_idle.is_zero(), "sojourn means must be non-zero");
+        assert!(
+            (1..=crate::address::MAX_ADDRESS + 1).contains(&num_addresses),
+            "num_addresses must be 1..=1024, got {num_addresses}"
+        );
+        let mut gen = BurstGenerator {
+            burst_rate_hz,
+            idle_rate_hz,
+            mean_burst,
+            mean_idle,
+            num_addresses,
+            rng: StdRng::seed_from_u64(seed),
+            now: SimTime::ZERO,
+            in_burst: false,
+            state_ends: SimTime::ZERO,
+        };
+        gen.enter_state(true); // start in a burst so the stream opens with activity
+        gen
+    }
+
+    fn exponential(&mut self, mean_secs: f64) -> f64 {
+        let u: f64 = 1.0 - self.rng.gen::<f64>();
+        -u.ln() * mean_secs
+    }
+
+    fn enter_state(&mut self, burst: bool) {
+        self.in_burst = burst;
+        let mean = if burst { self.mean_burst } else { self.mean_idle };
+        let sojourn = self.exponential(mean.as_secs_f64()).max(1e-12);
+        self.state_ends = self.now.saturating_add(SimDuration::from_secs_f64(sojourn));
+    }
+
+    /// Mean steady-state rate implied by the configuration (for test
+    /// oracles and workload reports).
+    pub fn expected_rate_hz(&self) -> f64 {
+        let tb = self.mean_burst.as_secs_f64();
+        let ti = self.mean_idle.as_secs_f64();
+        (self.burst_rate_hz * tb + self.idle_rate_hz * ti) / (tb + ti)
+    }
+}
+
+impl SpikeSource for BurstGenerator {
+    fn next_spike(&mut self) -> Option<Spike> {
+        loop {
+            let rate = if self.in_burst { self.burst_rate_hz } else { self.idle_rate_hz };
+            if rate <= 0.0 {
+                // Silent state: jump straight to the state's end.
+                self.now = self.state_ends;
+                self.enter_state(!self.in_burst);
+                continue;
+            }
+            let dt = SimDuration::from_secs_f64(self.exponential(1.0 / rate).max(1e-12));
+            let candidate = self.now.saturating_add(dt);
+            if candidate >= self.state_ends {
+                // State flips before the candidate spike: re-draw in the
+                // next state (memorylessness makes this exact).
+                self.now = self.state_ends;
+                self.enter_state(!self.in_burst);
+                continue;
+            }
+            self.now = candidate;
+            let addr = Address::new(self.rng.gen_range(0..self.num_addresses))
+                .expect("range validated at construction");
+            return Some(Spike::new(self.now, addr));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::assert_time_ordered;
+    use super::*;
+
+    fn speechy(seed: u64) -> BurstGenerator {
+        BurstGenerator::new(
+            300_000.0,
+            500.0,
+            SimDuration::from_ms(80),
+            SimDuration::from_ms(220),
+            64,
+            seed,
+        )
+    }
+
+    #[test]
+    fn produces_ordered_reproducible_streams() {
+        let a = speechy(5).generate(SimTime::from_secs(1));
+        let b = speechy(5).generate(SimTime::from_secs(1));
+        assert_eq!(a, b);
+        assert_time_ordered(&a);
+        assert!(a.len() > 1_000);
+    }
+
+    #[test]
+    fn long_run_rate_matches_expected() {
+        let gen = speechy(13);
+        let expected = gen.expected_rate_hz();
+        let train = { speechy(13).generate(SimTime::from_secs(20)) };
+        let measured = train.mean_rate();
+        let rel = (measured - expected).abs() / expected;
+        assert!(rel < 0.15, "expected ~{expected}, measured {measured}");
+    }
+
+    #[test]
+    fn stream_is_actually_bursty() {
+        // The squared coefficient of variation of ISIs for an MMPP with
+        // widely separated rates is well above 1 (Poisson).
+        let train = speechy(21).generate(SimTime::from_secs(5));
+        let isis: Vec<f64> = train.inter_spike_intervals().map(|d| d.as_secs_f64()).collect();
+        let n = isis.len() as f64;
+        let mean = isis.iter().sum::<f64>() / n;
+        let var = isis.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let cv2 = var / (mean * mean);
+        assert!(cv2 > 2.0, "expected bursty ISIs (CV^2 > 2), got {cv2}");
+    }
+
+    #[test]
+    fn silent_idle_state_produces_gaps() {
+        let mut gen = BurstGenerator::new(
+            100_000.0,
+            0.0,
+            SimDuration::from_ms(10),
+            SimDuration::from_ms(100),
+            4,
+            3,
+        );
+        let train = gen.generate(SimTime::from_secs(2));
+        let max_gap =
+            train.inter_spike_intervals().max().unwrap_or(SimDuration::ZERO);
+        assert!(
+            max_gap > SimDuration::from_ms(40),
+            "expected silence gaps of ~100 ms, max gap {max_gap}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sojourn")]
+    fn zero_sojourn_panics() {
+        let _ =
+            BurstGenerator::new(1_000.0, 0.0, SimDuration::ZERO, SimDuration::from_ms(1), 4, 0);
+    }
+}

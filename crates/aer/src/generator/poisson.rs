@@ -1,0 +1,169 @@
+//! Poisson spike generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use aetr_sim::time::{SimDuration, SimTime};
+
+use crate::address::Address;
+use crate::spike::Spike;
+
+use super::SpikeSource;
+
+/// Homogeneous Poisson process over a uniform address range — the
+/// workload the paper's Matlab model feeds the clock generator for the
+/// Fig. 6 accuracy sweep ("a configurable event rate Poisson distributed
+/// spike stream").
+///
+/// Inter-arrival times are exponential with mean `1 / rate`, sampled by
+/// inverse transform from a seeded [`StdRng`], so streams are
+/// reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_aer::generator::{PoissonGenerator, SpikeSource};
+/// use aetr_sim::time::SimTime;
+///
+/// let mut gen = PoissonGenerator::new(10_000.0, 64, 42);
+/// let train = gen.generate(SimTime::from_ms(100));
+/// // ~1000 events at 10 kevt/s over 100 ms.
+/// assert!((800..1200).contains(&train.len()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonGenerator {
+    rate_hz: f64,
+    num_addresses: u16,
+    rng: StdRng,
+    now: SimTime,
+}
+
+impl PoissonGenerator {
+    /// Creates a generator with mean event rate `rate_hz` (events per
+    /// second), addresses uniform in `0..num_addresses`, seeded for
+    /// reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_hz` is not strictly positive and finite, or if
+    /// `num_addresses` is zero or exceeds the 10-bit bus.
+    pub fn new(rate_hz: f64, num_addresses: u16, seed: u64) -> PoissonGenerator {
+        assert!(
+            rate_hz.is_finite() && rate_hz > 0.0,
+            "Poisson rate must be positive and finite, got {rate_hz}"
+        );
+        assert!(
+            (1..=crate::address::MAX_ADDRESS + 1).contains(&num_addresses),
+            "num_addresses must be 1..=1024, got {num_addresses}"
+        );
+        PoissonGenerator {
+            rate_hz,
+            num_addresses,
+            rng: StdRng::seed_from_u64(seed),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The configured mean rate in events per second.
+    pub fn rate_hz(&self) -> f64 {
+        self.rate_hz
+    }
+
+    /// Samples one exponential inter-arrival time.
+    fn sample_interval(&mut self) -> SimDuration {
+        // Inverse-transform sampling: -ln(U) / rate, with U in (0, 1].
+        let u: f64 = 1.0 - self.rng.gen::<f64>(); // (0, 1]
+        let secs = -u.ln() / self.rate_hz;
+        // Quantize to >= 1 ps so time strictly advances.
+        SimDuration::from_secs_f64(secs.max(1e-12))
+    }
+}
+
+impl SpikeSource for PoissonGenerator {
+    fn next_spike(&mut self) -> Option<Spike> {
+        let dt = self.sample_interval();
+        self.now = self.now.saturating_add(dt);
+        let addr = Address::new(self.rng.gen_range(0..self.num_addresses))
+            .expect("num_addresses validated at construction");
+        Some(Spike::new(self.now, addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::assert_time_ordered;
+    use super::*;
+
+    #[test]
+    fn mean_rate_converges() {
+        for &rate in &[1_000.0, 50_000.0, 550_000.0] {
+            let mut gen = PoissonGenerator::new(rate, 256, 7);
+            let train = gen.generate(SimTime::from_ms(500));
+            let measured = train.mean_rate();
+            let rel = (measured - rate).abs() / rate;
+            assert!(rel < 0.1, "rate {rate}: measured {measured}, rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn is_reproducible_for_same_seed() {
+        let a = PoissonGenerator::new(10_000.0, 64, 99).generate(SimTime::from_ms(50));
+        let b = PoissonGenerator::new(10_000.0, 64, 99).generate(SimTime::from_ms(50));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = PoissonGenerator::new(10_000.0, 64, 1).generate(SimTime::from_ms(50));
+        let b = PoissonGenerator::new(10_000.0, 64, 2).generate(SimTime::from_ms(50));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn times_strictly_increase() {
+        let mut gen = PoissonGenerator::new(2_000_000.0, 4, 3);
+        let train = gen.generate(SimTime::from_ms(5));
+        assert_time_ordered(&train);
+        // With the >=1 ps quantization they are in fact strictly increasing.
+        for w in train.as_slice().windows(2) {
+            assert!(w[1].time > w[0].time);
+        }
+    }
+
+    #[test]
+    fn addresses_cover_range() {
+        let mut gen = PoissonGenerator::new(100_000.0, 8, 5);
+        let train = gen.generate(SimTime::from_ms(20));
+        let mut seen = [false; 8];
+        for s in &train {
+            seen[s.addr.value() as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all 8 addresses should appear in ~2000 events");
+    }
+
+    #[test]
+    fn exponential_isi_statistics() {
+        // For an exponential distribution the coefficient of variation is 1.
+        let mut gen = PoissonGenerator::new(100_000.0, 4, 11);
+        let train = gen.generate(SimTime::from_ms(200));
+        let isis: Vec<f64> =
+            train.inter_spike_intervals().map(|d| d.as_secs_f64()).collect();
+        let n = isis.len() as f64;
+        let mean = isis.iter().sum::<f64>() / n;
+        let var = isis.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "Poisson ISI CV should be ~1, got {cv}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = PoissonGenerator::new(0.0, 4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_addresses")]
+    fn too_many_addresses_panics() {
+        let _ = PoissonGenerator::new(1.0, 2000, 0);
+    }
+}

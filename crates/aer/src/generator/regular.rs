@@ -1,0 +1,113 @@
+//! Deterministic fixed-interval spike generator.
+
+use serde::{Deserialize, Serialize};
+
+use aetr_sim::time::{SimDuration, SimTime};
+
+use crate::address::Address;
+use crate::spike::Spike;
+
+use super::SpikeSource;
+
+/// Emits one spike every `interval`, cycling round-robin through
+/// `0..num_addresses`. Ideal for corner-case tests where exact event
+/// times matter (Nyquist-limit checks, FIFO watermark tests, CAVIAR
+/// timing).
+///
+/// # Examples
+///
+/// ```
+/// use aetr_aer::generator::{RegularGenerator, SpikeSource};
+/// use aetr_sim::time::{SimDuration, SimTime};
+///
+/// let mut gen = RegularGenerator::new(SimDuration::from_us(100), 4);
+/// let train = gen.generate(SimTime::from_ms(1));
+/// assert_eq!(train.len(), 9); // spikes at 100us..900us
+/// assert_eq!(train.as_slice()[5].addr.value(), 1); // round-robin
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegularGenerator {
+    interval: SimDuration,
+    num_addresses: u16,
+    next_addr: u16,
+    now: SimTime,
+}
+
+impl RegularGenerator {
+    /// Creates a generator emitting every `interval` over addresses
+    /// `0..num_addresses`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero or `num_addresses` is zero or
+    /// exceeds the 10-bit bus.
+    pub fn new(interval: SimDuration, num_addresses: u16) -> RegularGenerator {
+        assert!(!interval.is_zero(), "interval must be non-zero");
+        assert!(
+            (1..=crate::address::MAX_ADDRESS + 1).contains(&num_addresses),
+            "num_addresses must be 1..=1024, got {num_addresses}"
+        );
+        RegularGenerator { interval, num_addresses, next_addr: 0, now: SimTime::ZERO }
+    }
+
+    /// Creates a generator with the interval derived from a rate in
+    /// events per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_hz` is not strictly positive and finite.
+    pub fn from_rate(rate_hz: f64, num_addresses: u16) -> RegularGenerator {
+        assert!(
+            rate_hz.is_finite() && rate_hz > 0.0,
+            "rate must be positive and finite, got {rate_hz}"
+        );
+        RegularGenerator::new(SimDuration::from_secs_f64(1.0 / rate_hz), num_addresses)
+    }
+
+    /// The fixed inter-spike interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+}
+
+impl SpikeSource for RegularGenerator {
+    fn next_spike(&mut self) -> Option<Spike> {
+        self.now = self.now.saturating_add(self.interval);
+        let addr = Address::new(self.next_addr).expect("range validated at construction");
+        self.next_addr = (self.next_addr + 1) % self.num_addresses;
+        Some(Spike::new(self.now, addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_spike_times() {
+        let mut gen = RegularGenerator::new(SimDuration::from_us(50), 2);
+        let train = gen.generate(SimTime::from_us(201));
+        let times: Vec<u64> = train.iter().map(|s| s.time.as_ps() / 1_000_000).collect();
+        assert_eq!(times, vec![50, 100, 150, 200]);
+    }
+
+    #[test]
+    fn round_robin_addresses() {
+        let mut gen = RegularGenerator::new(SimDuration::from_us(1), 3);
+        let train = gen.generate(SimTime::from_us(7));
+        let addrs: Vec<u16> = train.iter().map(|s| s.addr.value()).collect();
+        assert_eq!(addrs, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn from_rate_matches_interval() {
+        let gen = RegularGenerator::from_rate(1_000_000.0, 1);
+        assert_eq!(gen.interval(), SimDuration::from_us(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_interval_panics() {
+        let _ = RegularGenerator::new(SimDuration::ZERO, 1);
+    }
+}

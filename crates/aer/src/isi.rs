@@ -1,0 +1,148 @@
+//! Inter-spike-interval (ISI) statistics.
+//!
+//! The entire premise of AETR is that the information is in the ISIs;
+//! these summary statistics characterise workloads (Poisson vs bursty
+//! vs periodic) and feed the experiment reports.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use aetr_sim::time::SimDuration;
+
+use crate::spike::SpikeTrain;
+
+/// Summary statistics of a train's inter-spike intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IsiStats {
+    /// Number of intervals (spikes − 1).
+    pub count: usize,
+    /// Shortest interval.
+    pub min: SimDuration,
+    /// Longest interval.
+    pub max: SimDuration,
+    /// Mean interval in seconds.
+    pub mean_secs: f64,
+    /// Standard deviation in seconds.
+    pub std_secs: f64,
+}
+
+impl IsiStats {
+    /// Computes ISI statistics; `None` for trains with fewer than two
+    /// spikes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aetr_aer::generator::{RegularGenerator, SpikeSource};
+    /// use aetr_aer::isi::IsiStats;
+    /// use aetr_sim::time::{SimDuration, SimTime};
+    ///
+    /// let train = RegularGenerator::new(SimDuration::from_us(10), 1)
+    ///     .generate(SimTime::from_ms(1));
+    /// let stats = IsiStats::of(&train).expect("two or more spikes");
+    /// assert_eq!(stats.min, stats.max);
+    /// assert!(stats.coefficient_of_variation() < 1e-9);
+    /// ```
+    pub fn of(train: &SpikeTrain) -> Option<IsiStats> {
+        let intervals: Vec<SimDuration> = train.inter_spike_intervals().collect();
+        if intervals.is_empty() {
+            return None;
+        }
+        let count = intervals.len();
+        let min = *intervals.iter().min().expect("non-empty");
+        let max = *intervals.iter().max().expect("non-empty");
+        let secs: Vec<f64> = intervals.iter().map(|d| d.as_secs_f64()).collect();
+        let mean = secs.iter().sum::<f64>() / count as f64;
+        let var = secs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        Some(IsiStats { count, min, max, mean_secs: mean, std_secs: var.sqrt() })
+    }
+
+    /// Coefficient of variation (σ/µ): 0 for periodic, ≈1 for Poisson,
+    /// >1 for bursty trains.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean_secs == 0.0 {
+            0.0
+        } else {
+            self.std_secs / self.mean_secs
+        }
+    }
+
+    /// Mean event rate implied by the mean ISI.
+    pub fn mean_rate_hz(&self) -> f64 {
+        if self.mean_secs == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.mean_secs
+        }
+    }
+}
+
+impl fmt::Display for IsiStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ISIs: min {}, max {}, mean {:.3} us, cv {:.3}",
+            self.count,
+            self.min,
+            self.max,
+            self.mean_secs * 1e6,
+            self.coefficient_of_variation()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{BurstGenerator, PoissonGenerator, RegularGenerator, SpikeSource};
+    use aetr_sim::time::SimTime;
+
+    #[test]
+    fn too_short_trains_yield_none() {
+        assert!(IsiStats::of(&SpikeTrain::new()).is_none());
+        let one = PoissonGenerator::new(10.0, 1, 0).generate(SimTime::from_secs(1));
+        if one.len() < 2 {
+            assert!(IsiStats::of(&one).is_none());
+        }
+    }
+
+    #[test]
+    fn periodic_train_has_zero_cv() {
+        let train =
+            RegularGenerator::new(SimDuration::from_us(100), 1).generate(SimTime::from_ms(10));
+        let stats = IsiStats::of(&train).unwrap();
+        assert_eq!(stats.min, SimDuration::from_us(100));
+        assert_eq!(stats.max, SimDuration::from_us(100));
+        assert!(stats.coefficient_of_variation() < 1e-9);
+        assert!((stats.mean_rate_hz() - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn cv_discriminates_workload_classes() {
+        let poisson =
+            PoissonGenerator::new(50_000.0, 8, 4).generate(SimTime::from_ms(500));
+        let bursty = BurstGenerator::new(
+            300_000.0,
+            100.0,
+            SimDuration::from_ms(50),
+            SimDuration::from_ms(200),
+            8,
+            4,
+        )
+        .generate(SimTime::from_secs(3));
+        let cv_poisson = IsiStats::of(&poisson).unwrap().coefficient_of_variation();
+        let cv_bursty = IsiStats::of(&bursty).unwrap().coefficient_of_variation();
+        assert!((cv_poisson - 1.0).abs() < 0.1, "Poisson CV {cv_poisson}");
+        assert!(cv_bursty > cv_poisson + 0.5, "bursty CV {cv_bursty} vs {cv_poisson}");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let train =
+            RegularGenerator::new(SimDuration::from_us(10), 1).generate(SimTime::from_us(100));
+        let s = IsiStats::of(&train).unwrap().to_string();
+        assert!(s.contains("ISIs"), "{s}");
+        assert!(s.contains("cv"), "{s}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Channel impairments: what a real asynchronous link does to a
+//! pristine spike train.
+//!
+//! Robustness experiments need controlled degradation — timing jitter
+//! on the REQ wire, lost events (metastability, brown-outs), and
+//! background noise events (dark counts in vision sensors, hum in
+//! cochleas). All transformations are seeded and deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use aetr_sim::time::{SimDuration, SimTime};
+
+use crate::address::Address;
+use crate::spike::{Spike, SpikeTrain};
+
+/// Adds zero-mean Gaussian timing jitter (std `sigma`) to every spike,
+/// clamped so times stay non-negative; the result is re-sorted (jitter
+/// can reorder close spikes, as on a real wire).
+///
+/// # Examples
+///
+/// ```
+/// use aetr_aer::generator::{RegularGenerator, SpikeSource};
+/// use aetr_aer::noise::add_jitter;
+/// use aetr_sim::time::{SimDuration, SimTime};
+///
+/// let train = RegularGenerator::new(SimDuration::from_us(100), 4)
+///     .generate(SimTime::from_ms(10));
+/// let noisy = add_jitter(&train, SimDuration::from_us(1), 7);
+/// assert_eq!(noisy.len(), train.len());
+/// ```
+pub fn add_jitter(train: &SpikeTrain, sigma: SimDuration, seed: u64) -> SpikeTrain {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sigma_ps = sigma.as_ps() as f64;
+    let spikes = train
+        .iter()
+        .map(|s| {
+            // Box–Muller.
+            let u1: f64 = 1.0 - rng.gen::<f64>();
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let dt = (z * sigma_ps).round() as i64;
+            let t = (s.time.as_ps() as i64 + dt).max(0) as u64;
+            Spike::new(SimTime::from_ps(t), s.addr)
+        })
+        .collect();
+    SpikeTrain::from_unsorted(spikes)
+}
+
+/// Drops each spike independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics unless `p` is in `[0, 1]`.
+pub fn drop_random(train: &SpikeTrain, p: f64, seed: u64) -> SpikeTrain {
+    assert!((0.0..=1.0).contains(&p), "drop probability must be in [0, 1], got {p}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    train
+        .iter()
+        .filter(|_| rng.gen::<f64>() >= p)
+        .copied()
+        .collect::<Vec<Spike>>()
+        .into_iter()
+        .collect()
+}
+
+/// Injects background Poisson noise at `rate_hz` over the train's span
+/// (uniform random addresses in `0..num_addresses`), merged in time
+/// order — dark counts / hum.
+///
+/// # Panics
+///
+/// Panics on a non-positive or non-finite rate, or a zero address
+/// range.
+pub fn inject_background(
+    train: &SpikeTrain,
+    rate_hz: f64,
+    num_addresses: u16,
+    seed: u64,
+) -> SpikeTrain {
+    assert!(rate_hz.is_finite() && rate_hz > 0.0, "noise rate must be positive");
+    assert!(num_addresses > 0, "need at least one noise address");
+    let span = train.duration();
+    if span.is_zero() {
+        return train.clone();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = SimTime::ZERO;
+    let mut noise = Vec::new();
+    loop {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        let dt = SimDuration::from_secs_f64((-u.ln() / rate_hz).max(1e-12));
+        t = t.saturating_add(dt);
+        if t.saturating_duration_since(SimTime::ZERO) > span {
+            break;
+        }
+        let addr = Address::from_raw_masked(rng.gen_range(0..num_addresses));
+        noise.push(Spike::new(t, addr));
+    }
+    train.merge(&SpikeTrain::from_unsorted(noise))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{PoissonGenerator, RegularGenerator, SpikeSource};
+
+    fn base() -> SpikeTrain {
+        RegularGenerator::new(SimDuration::from_us(50), 8).generate(SimTime::from_ms(20))
+    }
+
+    #[test]
+    fn jitter_preserves_count_and_addresses() {
+        let train = base();
+        let noisy = add_jitter(&train, SimDuration::from_us(2), 3);
+        assert_eq!(noisy.len(), train.len());
+        let mut a: Vec<u16> = train.iter().map(|s| s.addr.value()).collect();
+        let mut b: Vec<u16> = noisy.iter().map(|s| s.addr.value()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jitter_magnitude_matches_sigma() {
+        let train = base();
+        let noisy = add_jitter(&train, SimDuration::from_us(1), 5);
+        // ISI std grows to ~sqrt(2)·sigma for independent jitter.
+        let isis: Vec<f64> = noisy.inter_spike_intervals().map(|d| d.as_secs_f64()).collect();
+        let mean = isis.iter().sum::<f64>() / isis.len() as f64;
+        let std = (isis.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / isis.len() as f64)
+            .sqrt();
+        let expected = 2f64.sqrt() * 1e-6;
+        assert!((std - expected).abs() / expected < 0.2, "ISI std {std}");
+    }
+
+    #[test]
+    fn zero_jitter_is_identity() {
+        let train = base();
+        assert_eq!(add_jitter(&train, SimDuration::ZERO, 1), train);
+    }
+
+    #[test]
+    fn drop_rate_is_respected() {
+        let train = PoissonGenerator::new(100_000.0, 16, 9).generate(SimTime::from_ms(100));
+        let kept = drop_random(&train, 0.3, 11);
+        let ratio = kept.len() as f64 / train.len() as f64;
+        assert!((ratio - 0.7).abs() < 0.03, "kept ratio {ratio}");
+        assert_eq!(drop_random(&train, 0.0, 1), train);
+        assert!(drop_random(&train, 1.0, 1).is_empty());
+    }
+
+    #[test]
+    fn background_injection_raises_the_rate() {
+        let train = base(); // 20 kevt/s
+        let noisy = inject_background(&train, 20_000.0, 8, 13);
+        assert!(noisy.len() > train.len());
+        let added = noisy.len() - train.len();
+        // ~20k over 20 ms ≈ 400 noise events.
+        assert!((300..500).contains(&added), "added {added}");
+        // Still sorted.
+        assert!(SpikeTrain::from_sorted(noisy.into_inner()).is_ok());
+    }
+
+    #[test]
+    fn empty_train_survives_injection() {
+        let empty = SpikeTrain::new();
+        assert_eq!(inject_background(&empty, 1_000.0, 4, 1), empty);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let train = base();
+        assert_eq!(
+            add_jitter(&train, SimDuration::from_us(1), 42),
+            add_jitter(&train, SimDuration::from_us(1), 42)
+        );
+        assert_ne!(
+            add_jitter(&train, SimDuration::from_us(1), 42),
+            add_jitter(&train, SimDuration::from_us(1), 43)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_drop_probability_panics() {
+        let _ = drop_random(&SpikeTrain::new(), 1.5, 0);
+    }
+}

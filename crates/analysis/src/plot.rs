@@ -1,0 +1,193 @@
+//! Terminal line plots.
+//!
+//! The figure harnesses print an ASCII rendition of each paper figure
+//! next to the CSV data, so the curve *shape* (who wins, where the
+//! knees fall) is visible straight from `cargo run` without any
+//! plotting toolchain.
+
+use std::fmt::Write as _;
+
+/// Axis scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Logarithmic axis (positive values only; others are skipped).
+    Log,
+}
+
+/// An ASCII multi-series line plot.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_analysis::plot::{AsciiPlot, Scale};
+///
+/// let mut plot = AsciiPlot::new(40, 10, Scale::Log, Scale::Linear);
+/// plot.series("rising", vec![(1.0, 0.1), (10.0, 0.5), (100.0, 0.9)]);
+/// let text = plot.render();
+/// assert!(text.contains("rising"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    width: usize,
+    height: usize,
+    x_scale: Scale,
+    y_scale: Scale,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+/// Glyphs assigned to successive series.
+const GLYPHS: [char; 8] = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+impl AsciiPlot {
+    /// Creates an empty plot canvas of `width × height` characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the canvas is smaller than 8×4.
+    pub fn new(width: usize, height: usize, x_scale: Scale, y_scale: Scale) -> AsciiPlot {
+        assert!(width >= 8 && height >= 4, "canvas must be at least 8x4");
+        AsciiPlot { width, height, x_scale, y_scale, series: Vec::new() }
+    }
+
+    /// Adds a named series.
+    pub fn series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) {
+        self.series.push((name.into(), points));
+    }
+
+    fn project(scale: Scale, v: f64, lo: f64, hi: f64) -> Option<f64> {
+        match scale {
+            Scale::Linear => {
+                if hi > lo {
+                    Some((v - lo) / (hi - lo))
+                } else {
+                    Some(0.5)
+                }
+            }
+            Scale::Log => {
+                if v <= 0.0 || lo <= 0.0 || hi <= lo {
+                    None
+                } else {
+                    Some((v / lo).ln() / (hi / lo).ln())
+                }
+            }
+        }
+    }
+
+    /// Renders the canvas with axis labels and a legend.
+    pub fn render(&self) -> String {
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().copied())
+            .filter(|&(x, y)| {
+                (self.x_scale == Scale::Linear || x > 0.0)
+                    && (self.y_scale == Scale::Linear || y > 0.0)
+            })
+            .collect();
+        if all.is_empty() {
+            return "(no data)\n".to_owned();
+        }
+        let (x_lo, x_hi) = bounds(all.iter().map(|&(x, _)| x));
+        let (y_lo, y_hi) = bounds(all.iter().map(|&(_, y)| y));
+
+        let mut canvas = vec![vec![' '; self.width]; self.height];
+        for (si, (_, pts)) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in pts {
+                let (Some(fx), Some(fy)) = (
+                    Self::project(self.x_scale, x, x_lo, x_hi),
+                    Self::project(self.y_scale, y, y_lo, y_hi),
+                ) else {
+                    continue;
+                };
+                if !(0.0..=1.0).contains(&fx) || !(0.0..=1.0).contains(&fy) {
+                    continue;
+                }
+                let col = ((fx * (self.width - 1) as f64).round() as usize).min(self.width - 1);
+                let row = self.height
+                    - 1
+                    - ((fy * (self.height - 1) as f64).round() as usize).min(self.height - 1);
+                canvas[row][col] = glyph;
+            }
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "y: [{y_lo:.3e}, {y_hi:.3e}] ({:?})", self.y_scale);
+        for row in &canvas {
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        let _ = writeln!(out, "x: [{x_lo:.3e}, {x_hi:.3e}] ({:?})", self.x_scale);
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "  {} {}", GLYPHS[si % GLYPHS.len()], name);
+        }
+        out
+    }
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_series_glyphs_and_legend() {
+        let mut p = AsciiPlot::new(30, 8, Scale::Linear, Scale::Linear);
+        p.series("one", vec![(0.0, 0.0), (1.0, 1.0)]);
+        p.series("two", vec![(0.0, 1.0), (1.0, 0.0)]);
+        let text = p.render();
+        assert!(text.contains('*'));
+        assert!(text.contains('+'));
+        assert!(text.contains("one"));
+        assert!(text.contains("two"));
+    }
+
+    #[test]
+    fn log_axis_skips_nonpositive_points() {
+        let mut p = AsciiPlot::new(30, 8, Scale::Log, Scale::Log);
+        p.series("s", vec![(0.0, 1.0), (10.0, 10.0), (100.0, 100.0)]);
+        let text = p.render();
+        // Two valid points plotted on the canvas (legend excluded).
+        let on_canvas: usize = text
+            .lines()
+            .filter(|l| l.starts_with('|'))
+            .map(|l| l.matches('*').count())
+            .sum();
+        assert_eq!(on_canvas, 2, "{text}");
+    }
+
+    #[test]
+    fn empty_plot_says_so() {
+        let p = AsciiPlot::new(30, 8, Scale::Linear, Scale::Linear);
+        assert_eq!(p.render(), "(no data)\n");
+    }
+
+    #[test]
+    fn monotone_series_renders_monotone() {
+        let mut p = AsciiPlot::new(20, 10, Scale::Linear, Scale::Linear);
+        p.series("inc", (0..20).map(|i| (i as f64, i as f64)).collect());
+        let text = p.render();
+        // The glyph on each successive line moves left (higher y first).
+        let cols: Vec<usize> = text
+            .lines()
+            .filter(|l| l.starts_with('|'))
+            .filter_map(|l| l.find('*'))
+            .collect();
+        assert!(cols.windows(2).all(|w| w[1] <= w[0]), "cols {cols:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "8x4")]
+    fn tiny_canvas_panics() {
+        let _ = AsciiPlot::new(2, 2, Scale::Linear, Scale::Linear);
+    }
+}

@@ -1,0 +1,137 @@
+//! Parameter-sweep scaffolding.
+//!
+//! Both evaluation figures sweep the event rate on a log axis (100
+//! evt/s – 2 Mevt/s for Fig. 6, 10 evt/s – 800 kevt/s for Fig. 8),
+//! with one curve per `θ_div`. This module generates the sweep grids
+//! and runs a measurement closure over the cross product, collecting
+//! tidy rows.
+
+use serde::{Deserialize, Serialize};
+
+/// `n` log-spaced points over `[lo, hi]`, inclusive of both ends.
+///
+/// # Panics
+///
+/// Panics unless `0 < lo < hi` and `n >= 2`.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_analysis::sweep::log_space;
+///
+/// let rates = log_space(100.0, 1e6, 5);
+/// assert_eq!(rates.len(), 5);
+/// assert!((rates[0] - 100.0).abs() < 1e-9);
+/// assert!((rates[4] - 1e6).abs() / 1e6 < 1e-9);
+/// // Equal ratios between consecutive points.
+/// assert!(((rates[1] / rates[0]) - (rates[2] / rates[1])).abs() < 1e-9);
+/// ```
+pub fn log_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(0.0 < lo && lo < hi, "log_space needs 0 < lo < hi, got [{lo}, {hi}]");
+    assert!(n >= 2, "log_space needs at least 2 points");
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / (n - 1) as f64;
+            lo * (hi / lo).powf(t)
+        })
+        .collect()
+}
+
+/// `n` linearly spaced points over `[lo, hi]`, inclusive.
+///
+/// # Panics
+///
+/// Panics unless `lo < hi` and `n >= 2`.
+pub fn lin_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo < hi, "lin_space needs lo < hi");
+    assert!(n >= 2, "lin_space needs at least 2 points");
+    (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect()
+}
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint<T> {
+    /// The configuration label (e.g. `θ_div` value or policy name).
+    pub config: String,
+    /// The swept x value (e.g. event rate in Hz).
+    pub x: f64,
+    /// The measurement.
+    pub value: T,
+}
+
+/// Runs `measure(config, x)` over the cross product of configurations
+/// and x values, in deterministic order.
+pub fn run_sweep<C, T>(
+    configs: &[(String, C)],
+    xs: &[f64],
+    mut measure: impl FnMut(&C, f64) -> T,
+) -> Vec<SweepPoint<T>> {
+    let mut points = Vec::with_capacity(configs.len() * xs.len());
+    for (label, cfg) in configs {
+        for &x in xs {
+            points.push(SweepPoint { config: label.clone(), x, value: measure(cfg, x) });
+        }
+    }
+    points
+}
+
+/// Groups sweep points back into per-configuration series (insertion
+/// order preserved).
+pub fn series_of<T: Clone>(points: &[SweepPoint<T>]) -> Vec<(String, Vec<(f64, T)>)> {
+    let mut out: Vec<(String, Vec<(f64, T)>)> = Vec::new();
+    for p in points {
+        match out.iter_mut().find(|(label, _)| *label == p.config) {
+            Some((_, series)) => series.push((p.x, p.value.clone())),
+            None => out.push((p.config.clone(), vec![(p.x, p.value.clone())])),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_space_covers_fig6_range() {
+        let rates = log_space(100.0, 2e6, 25);
+        assert_eq!(rates.len(), 25);
+        assert!(rates.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn lin_space_endpoints() {
+        let xs = lin_space(0.0, 12.0, 13);
+        assert_eq!(xs[0], 0.0);
+        assert_eq!(xs[12], 12.0);
+        assert!((xs[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_runs_full_cross_product_in_order() {
+        let configs = vec![("a".to_owned(), 1u32), ("b".to_owned(), 2)];
+        let xs = [10.0, 20.0];
+        let points = run_sweep(&configs, &xs, |c, x| *c as f64 * x);
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].config, "a");
+        assert_eq!(points[0].value, 10.0);
+        assert_eq!(points[3].config, "b");
+        assert_eq!(points[3].value, 40.0);
+    }
+
+    #[test]
+    fn series_regroups_by_config() {
+        let configs = vec![("a".to_owned(), ()), ("b".to_owned(), ())];
+        let points = run_sweep(&configs, &[1.0, 2.0], |_, x| x * 2.0);
+        let series = series_of(&points);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, "a");
+        assert_eq!(series[0].1, vec![(1.0, 2.0), (2.0, 4.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo < hi")]
+    fn log_space_rejects_zero_lo() {
+        let _ = log_space(0.0, 1.0, 3);
+    }
+}

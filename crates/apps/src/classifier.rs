@@ -1,0 +1,227 @@
+//! Nearest-centroid classification over spike-train features.
+//!
+//! Deliberately tiny — the kind of classifier an STM32-class MCU
+//! would actually run on batched AETR data (the paper's intro names
+//! k-means/SVM/NN as the heavyweight alternatives that *don't* fit).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::features::{cosine_distance, FeatureVector};
+
+/// A trained nearest-centroid model: one mean profile per label.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CentroidModel {
+    centroids: BTreeMap<String, FeatureVector>,
+}
+
+/// Training errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// No examples at all.
+    Empty,
+    /// Feature vectors of inconsistent length.
+    DimensionMismatch {
+        /// First length seen.
+        expected: usize,
+        /// Offending length.
+        found: usize,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Empty => write!(f, "no training examples"),
+            TrainError::DimensionMismatch { expected, found } => {
+                write!(f, "feature length {found} differs from {expected}")
+            }
+        }
+    }
+}
+
+impl Error for TrainError {}
+
+impl CentroidModel {
+    /// Trains from `(label, features)` examples: the centroid of each
+    /// label is the renormalised mean profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] on an empty set or mismatched feature
+    /// dimensions.
+    pub fn train(
+        examples: impl IntoIterator<Item = (String, FeatureVector)>,
+    ) -> Result<CentroidModel, TrainError> {
+        let mut sums: BTreeMap<String, (Vec<f64>, usize, f64, usize)> = BTreeMap::new();
+        let mut dim: Option<usize> = None;
+        for (label, f) in examples {
+            match dim {
+                None => dim = Some(f.profile.len()),
+                Some(d) if d != f.profile.len() => {
+                    return Err(TrainError::DimensionMismatch {
+                        expected: d,
+                        found: f.profile.len(),
+                    })
+                }
+                _ => {}
+            }
+            let entry = sums
+                .entry(label)
+                .or_insert_with(|| (vec![0.0; f.profile.len()], 0, 0.0, 0));
+            for (acc, p) in entry.0.iter_mut().zip(&f.profile) {
+                *acc += p;
+            }
+            entry.1 += 1;
+            entry.2 += f.isi_cv;
+            entry.3 += f.event_count;
+        }
+        if sums.is_empty() {
+            return Err(TrainError::Empty);
+        }
+        let centroids = sums
+            .into_iter()
+            .map(|(label, (mut profile, n, cv_sum, count_sum))| {
+                let total: f64 = profile.iter().sum();
+                if total > 0.0 {
+                    for p in &mut profile {
+                        *p /= total;
+                    }
+                }
+                (
+                    label,
+                    FeatureVector {
+                        profile,
+                        event_count: count_sum / n,
+                        isi_cv: cv_sum / n as f64,
+                    },
+                )
+            })
+            .collect();
+        Ok(CentroidModel { centroids })
+    }
+
+    /// Known labels, sorted.
+    pub fn labels(&self) -> Vec<&str> {
+        self.centroids.keys().map(String::as_str).collect()
+    }
+
+    /// Classifies a feature vector: the label of the nearest centroid
+    /// by cosine distance, with the distance. `None` on an untrained
+    /// model.
+    pub fn classify(&self, features: &FeatureVector) -> Option<(&str, f64)> {
+        self.centroids
+            .iter()
+            .map(|(label, c)| (label.as_str(), cosine_distance(features, c)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+    }
+}
+
+/// A labelled evaluation outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Correct classifications.
+    pub correct: usize,
+    /// Total classified.
+    pub total: usize,
+    /// `(truth, predicted) -> count` confusion counts.
+    pub confusion: BTreeMap<(String, String), usize>,
+}
+
+impl Evaluation {
+    /// Fraction correct.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+/// Evaluates a model over labelled examples.
+pub fn evaluate<'a>(
+    model: &CentroidModel,
+    examples: impl IntoIterator<Item = (&'a str, &'a FeatureVector)>,
+) -> Evaluation {
+    let mut eval = Evaluation { correct: 0, total: 0, confusion: BTreeMap::new() };
+    for (truth, f) in examples {
+        let Some((pred, _)) = model.classify(f) else { continue };
+        eval.total += 1;
+        if pred == truth {
+            eval.correct += 1;
+        }
+        *eval.confusion.entry((truth.to_owned(), pred.to_owned())).or_insert(0) += 1;
+    }
+    eval
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(profile: Vec<f64>) -> FeatureVector {
+        FeatureVector { profile, event_count: 10, isi_cv: 1.0 }
+    }
+
+    #[test]
+    fn trains_and_classifies_separable_clusters() {
+        let model = CentroidModel::train(vec![
+            ("low".to_owned(), fv(vec![1.0, 0.0, 0.0])),
+            ("low".to_owned(), fv(vec![0.9, 0.1, 0.0])),
+            ("high".to_owned(), fv(vec![0.0, 0.1, 0.9])),
+            ("high".to_owned(), fv(vec![0.0, 0.0, 1.0])),
+        ])
+        .unwrap();
+        assert_eq!(model.labels(), vec!["high", "low"]);
+        let (label, d) = model.classify(&fv(vec![0.8, 0.2, 0.0])).unwrap();
+        assert_eq!(label, "low");
+        assert!(d < 0.1);
+        assert_eq!(model.classify(&fv(vec![0.0, 0.2, 0.8])).unwrap().0, "high");
+    }
+
+    #[test]
+    fn evaluation_counts_confusion() {
+        let model = CentroidModel::train(vec![
+            ("a".to_owned(), fv(vec![1.0, 0.0])),
+            ("b".to_owned(), fv(vec![0.0, 1.0])),
+        ])
+        .unwrap();
+        let x_a = fv(vec![0.9, 0.1]);
+        let x_b = fv(vec![0.2, 0.8]);
+        let x_wrong = fv(vec![0.95, 0.05]);
+        let eval = evaluate(
+            &model,
+            vec![("a", &x_a), ("b", &x_b), ("b", &x_wrong)],
+        );
+        assert_eq!(eval.total, 3);
+        assert_eq!(eval.correct, 2);
+        assert!((eval.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(eval.confusion[&("b".to_owned(), "a".to_owned())], 1);
+    }
+
+    #[test]
+    fn empty_training_set_errors() {
+        assert_eq!(CentroidModel::train(vec![]), Err(TrainError::Empty));
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let err = CentroidModel::train(vec![
+            ("a".to_owned(), fv(vec![1.0, 0.0])),
+            ("a".to_owned(), fv(vec![1.0, 0.0, 0.0])),
+        ])
+        .unwrap_err();
+        assert_eq!(err, TrainError::DimensionMismatch { expected: 2, found: 3 });
+        assert!(err.to_string().contains("differs"));
+    }
+
+    #[test]
+    fn untrained_model_classifies_none() {
+        let model = CentroidModel::default();
+        assert_eq!(model.classify(&fv(vec![1.0])), None);
+    }
+}

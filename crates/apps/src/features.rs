@@ -1,0 +1,169 @@
+//! Spike-train feature extraction.
+//!
+//! The downstream "information" in time-to-information extraction: a
+//! spike train is summarised as a per-address activity vector — how
+//! much each cochlea channel (or DVS pixel group) fired, normalised to
+//! a unit profile — plus coarse temporal statistics. These features
+//! are exactly what survives (or doesn't) the AETR quantization, so
+//! classifying on them measures the interface's information fidelity
+//! directly.
+
+use serde::{Deserialize, Serialize};
+
+use aetr_aer::spike::SpikeTrain;
+
+/// A fixed-length feature vector extracted from a spike train.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    /// Normalised per-bucket activity profile (sums to 1 unless the
+    /// train was empty).
+    pub profile: Vec<f64>,
+    /// Total event count (log-compressed when comparing).
+    pub event_count: usize,
+    /// Coefficient of variation of the ISIs (temporal texture).
+    pub isi_cv: f64,
+}
+
+/// Feature extraction configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Number of address buckets (addresses are folded modulo-free by
+    /// integer division so neighbouring addresses share a bucket).
+    pub buckets: usize,
+    /// Address-space size being bucketed (e.g. 256 for a 64-channel ×
+    /// 4-neuron cochlea ear).
+    pub address_space: usize,
+}
+
+impl FeatureConfig {
+    /// Buckets matching the DAS1 cochlea's 64 channels (4 neurons per
+    /// channel fold into one bucket).
+    pub fn das1_channels() -> FeatureConfig {
+        FeatureConfig { buckets: 64, address_space: 256 }
+    }
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        Self::das1_channels()
+    }
+}
+
+/// Extracts features from a train.
+///
+/// # Panics
+///
+/// Panics on zero buckets or a zero address space.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_apps::features::{extract, FeatureConfig};
+/// use aetr_aer::generator::{PoissonGenerator, SpikeSource};
+/// use aetr_sim::time::SimTime;
+///
+/// let train = PoissonGenerator::new(50_000.0, 256, 1).generate(SimTime::from_ms(50));
+/// let f = extract(&train, &FeatureConfig::das1_channels());
+/// assert_eq!(f.profile.len(), 64);
+/// assert!((f.profile.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// ```
+pub fn extract(train: &SpikeTrain, config: &FeatureConfig) -> FeatureVector {
+    assert!(config.buckets > 0, "need at least one bucket");
+    assert!(config.address_space > 0, "address space must be non-zero");
+    let per_bucket = config.address_space.div_ceil(config.buckets);
+    let mut profile = vec![0.0f64; config.buckets];
+    for s in train {
+        let bucket = (s.addr.value() as usize / per_bucket).min(config.buckets - 1);
+        profile[bucket] += 1.0;
+    }
+    let total: f64 = profile.iter().sum();
+    if total > 0.0 {
+        for p in &mut profile {
+            *p /= total;
+        }
+    }
+    let isi_cv = aetr_aer::isi::IsiStats::of(train)
+        .map(|s| s.coefficient_of_variation())
+        .unwrap_or(0.0);
+    FeatureVector { profile, event_count: train.len(), isi_cv }
+}
+
+/// Cosine distance between two profiles (`0` identical direction, `1`
+/// orthogonal). Empty profiles are maximally distant from non-empty
+/// ones and identical to each other.
+pub fn cosine_distance(a: &FeatureVector, b: &FeatureVector) -> f64 {
+    let dot: f64 = a.profile.iter().zip(&b.profile).map(|(x, y)| x * y).sum();
+    let na: f64 = a.profile.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.profile.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 && nb == 0.0 {
+        0.0
+    } else if na == 0.0 || nb == 0.0 {
+        1.0
+    } else {
+        (1.0 - dot / (na * nb)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aetr_aer::address::Address;
+    use aetr_aer::spike::Spike;
+    use aetr_sim::time::SimTime;
+
+    fn train_on_addrs(addrs: &[u16]) -> SpikeTrain {
+        SpikeTrain::from_sorted(
+            addrs
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| {
+                    Spike::new(SimTime::from_us(i as u64 * 10), Address::new(a).unwrap())
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn buckets_fold_neighbouring_addresses() {
+        // Addresses 0..3 are channel 0's four neurons: one bucket.
+        let f = extract(&train_on_addrs(&[0, 1, 2, 3]), &FeatureConfig::das1_channels());
+        assert_eq!(f.profile[0], 1.0);
+        assert!(f.profile[1..].iter().all(|&p| p == 0.0));
+        assert_eq!(f.event_count, 4);
+    }
+
+    #[test]
+    fn profile_is_normalised() {
+        let f = extract(&train_on_addrs(&[0, 4, 4, 8]), &FeatureConfig::das1_channels());
+        assert!((f.profile.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((f.profile[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_train_yields_zero_profile() {
+        let f = extract(&SpikeTrain::new(), &FeatureConfig::das1_channels());
+        assert!(f.profile.iter().all(|&p| p == 0.0));
+        assert_eq!(f.event_count, 0);
+        assert_eq!(f.isi_cv, 0.0);
+    }
+
+    #[test]
+    fn cosine_distance_basics() {
+        let a = extract(&train_on_addrs(&[0, 0, 0]), &FeatureConfig::das1_channels());
+        let b = extract(&train_on_addrs(&[0, 0]), &FeatureConfig::das1_channels());
+        let c = extract(&train_on_addrs(&[100, 100]), &FeatureConfig::das1_channels());
+        assert!(cosine_distance(&a, &b) < 1e-12, "same direction");
+        assert!((cosine_distance(&a, &c) - 1.0).abs() < 1e-12, "disjoint channels");
+        let empty = extract(&SpikeTrain::new(), &FeatureConfig::das1_channels());
+        assert_eq!(cosine_distance(&a, &empty), 1.0);
+        assert_eq!(cosine_distance(&empty, &empty), 0.0);
+    }
+
+    #[test]
+    fn out_of_space_addresses_clamp_to_last_bucket() {
+        let cfg = FeatureConfig { buckets: 4, address_space: 16 };
+        let f = extract(&train_on_addrs(&[1000]), &cfg);
+        assert_eq!(f.profile[3], 1.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # aetr-apps — information-level applications on AETR streams
+//!
+//! The paper's title is *time-to-information extraction*; this crate
+//! closes the loop by measuring information, not just timestamps:
+//! spike-train [feature extraction](features), a microcontroller-scale
+//! [nearest-centroid classifier](classifier), and an end-to-end
+//! [keyword-spotting experiment](keyword) that compares classification
+//! accuracy on raw sensor streams against AETR-quantized,
+//! MCU-reconstructed ones, and binaural [sound localization]
+//! (interaural time difference) — the microsecond-scale timing task
+//! the DAS1 sensor exists for.
+//!
+//! [sound localization]: localization
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use aetr_apps::keyword::{run_experiment, Pipeline};
+//! use aetr_clockgen::config::ClockGenConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let clock = ClockGenConfig::prototype();
+//! let eval = run_experiment(Pipeline::Quantized, &clock, 3, 3)?;
+//! println!("keyword accuracy through the interface: {:.0}%", eval.accuracy() * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod features;
+pub mod keyword;
+pub mod localization;
+
+pub use classifier::{CentroidModel, Evaluation};
+pub use features::{extract, FeatureConfig, FeatureVector};

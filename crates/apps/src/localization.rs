@@ -1,0 +1,261 @@
+//! Binaural sound localization by interaural time difference (ITD).
+//!
+//! The DAS1 is a *binaural spatial audition* sensor: the time
+//! difference between the two ears' spikes encodes the sound's
+//! azimuth, with useful ITDs of tens to hundreds of microseconds.
+//! This is the harshest consumer of the AETR interface's timing
+//! fidelity — a few hundred microseconds of signal hiding in
+//! microsecond-scale spike alignments — and therefore the sharpest
+//! test of the paper's accuracy claims.
+//!
+//! The estimator is the classic binned cross-correlation of left/right
+//! spike trains over a lag window.
+
+use serde::{Deserialize, Serialize};
+
+use aetr_aer::spike::{Spike, SpikeTrain};
+use aetr_sim::time::SimDuration;
+
+/// Cross-correlation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ItdConfig {
+    /// Largest |lag| searched. Human-scale ITDs stay under ~700 µs.
+    pub max_lag: SimDuration,
+    /// Correlation bin width: the estimator's resolution.
+    pub bin: SimDuration,
+}
+
+impl ItdConfig {
+    /// ±1 ms window at 20 µs resolution.
+    pub fn default_window() -> ItdConfig {
+        ItdConfig { max_lag: SimDuration::from_ms(1), bin: SimDuration::from_us(20) }
+    }
+}
+
+impl Default for ItdConfig {
+    fn default() -> Self {
+        Self::default_window()
+    }
+}
+
+/// An ITD estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ItdEstimate {
+    /// Estimated lag of the right ear relative to the left (positive:
+    /// right lags, source on the left).
+    pub lag: i64,
+    /// The lag in picoseconds.
+    pub lag_ps: i64,
+    /// Correlation score at the peak (coincidence count).
+    pub peak_score: u64,
+}
+
+/// Estimates the ITD between two spike trains by binned
+/// cross-correlation.
+///
+/// Returns `None` if either train is empty.
+///
+/// # Panics
+///
+/// Panics on a zero bin width or zero lag window.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_apps::localization::{estimate_itd, shift_train, ItdConfig};
+/// use aetr_aer::generator::{PoissonGenerator, SpikeSource};
+/// use aetr_sim::time::{SimDuration, SimTime};
+///
+/// let left = PoissonGenerator::new(20_000.0, 64, 3).generate(SimTime::from_ms(100));
+/// let right = shift_train(&left, SimDuration::from_us(300));
+/// let est = estimate_itd(&left, &right, &ItdConfig::default_window()).expect("non-empty");
+/// assert!((est.lag_ps - 300_000_000).abs() <= 20_000_000); // within one bin
+/// ```
+pub fn estimate_itd(
+    left: &SpikeTrain,
+    right: &SpikeTrain,
+    config: &ItdConfig,
+) -> Option<ItdEstimate> {
+    assert!(!config.bin.is_zero(), "bin width must be non-zero");
+    assert!(!config.max_lag.is_zero(), "lag window must be non-zero");
+    if left.is_empty() || right.is_empty() {
+        return None;
+    }
+    let bin_ps = config.bin.as_ps() as i64;
+    let max_bins = (config.max_lag.as_ps() as i64 / bin_ps).max(1);
+    let mut scores = vec![0u64; (2 * max_bins + 1) as usize];
+
+    // Two-pointer sweep: for each left spike, count right spikes in
+    // every lag bin that contains them — O(pairs within the window).
+    let rights: Vec<i64> = right.iter().map(|s| s.time.as_ps() as i64).collect();
+    let mut lo = 0usize;
+    for l in left {
+        let lt = l.time.as_ps() as i64;
+        let window_lo = lt - max_bins * bin_ps;
+        let window_hi = lt + max_bins * bin_ps;
+        while lo < rights.len() && rights[lo] < window_lo {
+            lo += 1;
+        }
+        for &rt in rights[lo..].iter().take_while(|&&rt| rt <= window_hi) {
+            // Right lags left by (rt - lt); positive lag bin means the
+            // right ear hears later.
+            let lag_bins = (rt - lt + bin_ps / 2).div_euclid(bin_ps);
+            let idx = (lag_bins + max_bins) as usize;
+            if idx < scores.len() {
+                scores[idx] += 1;
+            }
+        }
+    }
+
+    let (best_idx, &peak_score) = scores
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))?;
+    let lag = best_idx as i64 - max_bins;
+    Some(ItdEstimate { lag, lag_ps: lag * bin_ps, peak_score })
+}
+
+/// Shifts every spike later by `delay` (simulating the far ear).
+pub fn shift_train(train: &SpikeTrain, delay: SimDuration) -> SpikeTrain {
+    train
+        .iter()
+        .map(|s| Spike::new(s.time.saturating_add(delay), s.addr))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect()
+}
+
+/// Converts an ITD to an azimuth angle (degrees) with the Woodworth
+/// approximation for a head of `head_radius_m` and speed of sound
+/// 343 m/s. Clamped to ±90°.
+pub fn itd_to_azimuth_degrees(lag_ps: i64, head_radius_m: f64) -> f64 {
+    let itd_secs = lag_ps as f64 * 1e-12;
+    let max_itd = head_radius_m * (1.0 + std::f64::consts::FRAC_PI_2) / 343.0;
+    let x = (itd_secs / max_itd).clamp(-1.0, 1.0);
+    x.asin().to_degrees()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aetr_aer::generator::{PoissonGenerator, SpikeSource};
+    use aetr_sim::time::SimTime;
+
+    fn left_train(seed: u64) -> SpikeTrain {
+        PoissonGenerator::new(30_000.0, 64, seed).generate(SimTime::from_ms(100))
+    }
+
+    #[test]
+    fn recovers_known_delays() {
+        let cfg = ItdConfig::default_window();
+        let left = left_train(1);
+        for delay_us in [0u64, 100, 300, 700] {
+            let right = shift_train(&left, SimDuration::from_us(delay_us));
+            let est = estimate_itd(&left, &right, &cfg).unwrap();
+            let err_ps = (est.lag_ps - delay_us as i64 * 1_000_000).abs();
+            assert!(
+                err_ps <= cfg.bin.as_ps() as i64,
+                "delay {delay_us} us estimated as {} ps",
+                est.lag_ps
+            );
+        }
+    }
+
+    #[test]
+    fn negative_lags_work_symmetrically() {
+        let cfg = ItdConfig::default_window();
+        let right = left_train(2);
+        let left = shift_train(&right, SimDuration::from_us(250));
+        // Left lags: the lag of right-relative-to-left is negative.
+        let est = estimate_itd(&left, &right, &cfg).unwrap();
+        assert!((est.lag_ps + 250_000_000).abs() <= cfg.bin.as_ps() as i64);
+    }
+
+    #[test]
+    fn empty_trains_yield_none() {
+        let cfg = ItdConfig::default_window();
+        assert!(estimate_itd(&SpikeTrain::new(), &left_train(3), &cfg).is_none());
+        assert!(estimate_itd(&left_train(3), &SpikeTrain::new(), &cfg).is_none());
+    }
+
+    #[test]
+    fn uncorrelated_ears_have_weak_diffuse_peak() {
+        let cfg = ItdConfig::default_window();
+        let left = left_train(4);
+        let right = left_train(5); // independent stream
+        let est_uncorr = estimate_itd(&left, &right, &cfg).unwrap();
+        let est_corr =
+            estimate_itd(&left, &shift_train(&left, SimDuration::from_us(200)), &cfg).unwrap();
+        assert!(
+            est_corr.peak_score > est_uncorr.peak_score * 2,
+            "correlated peak {} vs uncorrelated {}",
+            est_corr.peak_score,
+            est_uncorr.peak_score
+        );
+    }
+
+    #[test]
+    fn azimuth_mapping_is_monotone_and_clamped() {
+        let r = 0.0875; // average head
+        let a0 = itd_to_azimuth_degrees(0, r);
+        let a_small = itd_to_azimuth_degrees(100_000_000, r); // 100 µs
+        let a_big = itd_to_azimuth_degrees(600_000_000, r); // 600 µs
+        let a_max = itd_to_azimuth_degrees(10_000_000_000, r); // beyond physical
+        assert_eq!(a0, 0.0);
+        assert!(a_small > 0.0 && a_big > a_small);
+        assert_eq!(a_max, 90.0);
+        assert_eq!(itd_to_azimuth_degrees(-10_000_000_000, r), -90.0);
+    }
+
+    /// The headline: the AETR interface preserves ITD through
+    /// quantization — sub-bin error at the prototype configuration.
+    #[test]
+    fn itd_survives_aetr_quantization() {
+        use aetr::quantizer::{quantize_train, reconstruct_train};
+        use aetr_clockgen::config::ClockGenConfig;
+
+        let cfg = ItdConfig::default_window();
+        let clock = ClockGenConfig::prototype();
+        let left = left_train(6);
+        let right = shift_train(&left, SimDuration::from_us(400));
+        // The two ears are merged on one AER bus in the real DAS1; the
+        // MCU separates them by address. Quantize the merged stream.
+        let merged = left.merge(&right);
+        let horizon = merged.last_time().unwrap() + SimDuration::from_ms(1);
+        let out = quantize_train(&clock, &merged, horizon);
+        let rebuilt = reconstruct_train(&out.events(), out.base_period, SimTime::ZERO);
+        // Separate by address parity of origin: left spikes carry the
+        // original addresses; both trains share addresses, so instead
+        // split by order: events alternate irregularly — use the source
+        // trains' counts: first train addresses < 64 in both... Use
+        // interleaving by matching counts: reconstruct and split by
+        // position of original merge.
+        let mut l2 = Vec::new();
+        let mut r2 = Vec::new();
+        let mut li = 0usize;
+        let mut ri = 0usize;
+        for (rebuilt_spike, original) in rebuilt.iter().zip(merged.iter()) {
+            // Attribute each merged event back to its source train by
+            // consuming in time order.
+            let from_left = li < left.len()
+                && (ri >= right.len()
+                    || left.as_slice()[li].time <= right.as_slice()[ri].time);
+            if from_left {
+                l2.push(*rebuilt_spike);
+                li += 1;
+            } else {
+                r2.push(*rebuilt_spike);
+                ri += 1;
+            }
+            let _ = original;
+        }
+        let l2: SpikeTrain = l2.into_iter().collect();
+        let r2: SpikeTrain = r2.into_iter().collect();
+        let est = estimate_itd(&l2, &r2, &cfg).unwrap();
+        assert!(
+            (est.lag_ps - 400_000_000).abs() <= 2 * cfg.bin.as_ps() as i64,
+            "quantized ITD {} ps vs true 400 us",
+            est.lag_ps
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the full discrete-event interface: how many
+//! simulated events per second the DES sustains, and the cost of its
+//! building blocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use aetr::fifo::{AetrFifo, FifoConfig};
+use aetr::aetr_format::{AetrEvent, Timestamp};
+use aetr::interface::{AerToI2sInterface, InterfaceConfig};
+use aetr::spi::{run_frame, write_frame, SpiSlave};
+use aetr::config_bus::{Register, RegisterFile};
+use aetr_aer::address::Address;
+use aetr_aer::generator::{LfsrGenerator, SpikeSource};
+use aetr_sim::time::SimTime;
+
+fn bench_des_interface(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_interface");
+    for &rate in &[10_000.0f64, 100_000.0, 400_000.0] {
+        let horizon = SimTime::from_ms(10);
+        let train = LfsrGenerator::new(rate, 0xB).generate(horizon);
+        group.throughput(Throughput::Elements(train.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}kevts", rate / 1_000.0)),
+            &train,
+            |b, train| {
+                let interface =
+                    AerToI2sInterface::new(InterfaceConfig::prototype()).expect("valid");
+                b.iter(|| interface.run(train.clone(), horizon));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fifo(c: &mut Criterion) {
+    let ev = AetrEvent::new(Address::MIN, Timestamp::from_ticks(1));
+    c.bench_function("fifo/push_pop", |b| {
+        let mut fifo = AetrFifo::new(FifoConfig::prototype());
+        b.iter(|| {
+            fifo.push(ev);
+            std::hint::black_box(fifo.pop())
+        });
+    });
+}
+
+fn bench_spi(c: &mut Criterion) {
+    c.bench_function("spi/write_frame_40bit", |b| {
+        let mut regs = RegisterFile::new();
+        let mut spi = SpiSlave::new();
+        let frame = write_frame(Register::ThetaDiv as u8, 32);
+        b.iter(|| std::hint::black_box(run_frame(&mut spi, &mut regs, &frame)));
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let events: Vec<AetrEvent> = (0..1024)
+        .map(|i| AetrEvent::new(Address::from_raw_masked(i), Timestamp::from_ticks(i as u64)))
+        .collect();
+    let mut group = c.benchmark_group("aetr_codec");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("encode_decode_1k", |b| {
+        b.iter(|| {
+            let bytes = aetr::aetr_format::encode_stream(&events);
+            std::hint::black_box(aetr::aetr_format::decode_stream(&bytes).expect("aligned"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_des_interface, bench_fifo, bench_spi, bench_codec
+}
+criterion_main!(benches);

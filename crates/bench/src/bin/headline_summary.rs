@@ -1,0 +1,69 @@
+//! One-shot headline summary: every key paper number next to its
+//! measured value — the quick-look version of EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p aetr-bench --bin headline_summary
+//! ```
+
+use aetr::quantizer::{isi_error_samples, quantize_train};
+use aetr::resources::UtilizationReport;
+use aetr_aer::generator::{LfsrGenerator, PoissonGenerator, SpikeSource};
+use aetr_aer::spike::SpikeTrain;
+use aetr_analysis::table::Table;
+use aetr_bench::banner;
+use aetr_clockgen::config::{ClockGenConfig, DivisionPolicy};
+use aetr_power::model::PowerModel;
+use aetr_sim::time::{SimDuration, SimTime};
+
+fn power_uw(config: &ClockGenConfig, rate_hz: f64, seed: u32) -> f64 {
+    let secs = (2_000.0 / rate_hz).max(0.5);
+    let horizon = SimTime::ZERO + SimDuration::from_secs_f64(secs);
+    let train = LfsrGenerator::new(rate_hz, seed).generate(horizon);
+    let out = quantize_train(config, &train, horizon);
+    PowerModel::igloo_nano().evaluate(&out.activity).total.as_microwatts()
+}
+
+fn main() {
+    banner("Headline summary", "paper claims vs measured, one table", 0);
+    let proto = ClockGenConfig::prototype();
+    let naive = proto.with_policy(DivisionPolicy::Never);
+    let model = PowerModel::igloo_nano();
+
+    let p_noisy = power_uw(&proto, 550_000.0, 1);
+    let p_idle = {
+        let out = quantize_train(&proto, &SpikeTrain::new(), SimTime::from_secs(1));
+        model.evaluate(&out.activity).total.as_microwatts()
+    };
+    let p_naive = power_uw(&naive, 1_000.0, 2);
+    let acc = {
+        let train = PoissonGenerator::new(120_000.0, 64, 3).generate(SimTime::from_ms(200));
+        let out = quantize_train(&proto, &train, SimTime::from_ms(200));
+        let s = isi_error_samples(&out);
+        let mean: f64 = s.iter().map(|e| e.relative_error()).sum::<f64>() / s.len() as f64;
+        1.0 - mean
+    };
+    let util = UtilizationReport::prototype();
+
+    let mut t = Table::new(vec!["claim", "paper", "measured"]);
+    let mut row = |claim: &str, paper: &str, measured: String| {
+        t.row(vec![claim.to_owned(), paper.to_owned(), measured]);
+    };
+    row("power @ 550 kevt/s", "< 4.5 mW", format!("{:.2} mW", p_noisy / 1e3));
+    row("power, no spikes", "~50 uW", format!("{p_idle:.1} uW"));
+    row("naive baseline", "stuck at 4.5 mW", format!("{:.2} mW @ 1 kevt/s", p_naive / 1e3));
+    row("scaling factor", "90x", format!("{:.0}x", p_noisy / p_idle));
+    row("timestamp accuracy", "> 97%", format!("{:.1}%", acc * 100.0));
+    row(
+        "min inter-spike time",
+        "130 ns",
+        proto.min_resolvable_interval().to_string(),
+    );
+    row("wake latency", "~100 ns", proto.ring.wake_latency.to_string());
+    row(
+        "resource utilization",
+        "31% (~600 gates)",
+        format!("{:.0}% (~{} gates)", util.tile_utilization() * 100.0, util.equivalent_gates()),
+    );
+    println!("{}", t.to_ascii());
+    println!("full experiment index: EXPERIMENTS.md; per-figure harnesses in aetr-bench.");
+}

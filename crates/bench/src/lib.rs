@@ -1,0 +1,97 @@
+//! # aetr-bench — experiment harness support
+//!
+//! Shared plumbing for the figure-regeneration binaries
+//! (`cargo run -p aetr-bench --bin fig6_error`, ...): workload
+//! builders matching the paper's stimuli, result-file output, and the
+//! standard experiment banner. The Criterion micro-benchmarks live in
+//! `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use aetr_aer::generator::{LfsrGenerator, PoissonGenerator, SpikeSource};
+use aetr_aer::spike::SpikeTrain;
+use aetr_sim::time::{SimDuration, SimTime};
+
+/// Directory where harnesses drop CSV/VCD artifacts: `<repo>/results`.
+pub fn results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Writes an artifact into [`results_dir`], creating it if needed, and
+/// returns the full path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_result(name: &str, contents: &str) -> io::Result<PathBuf> {
+    let dir = results_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    fs::write(&path, contents)?;
+    Ok(path.canonicalize().unwrap_or(path))
+}
+
+/// Prints the standard experiment banner (figure id, description, and
+/// the deterministic seed in use).
+pub fn banner(figure: &str, description: &str, seed: u64) {
+    println!("=== {figure} — {description}");
+    println!("    (deterministic; base seed {seed})");
+    println!();
+}
+
+/// The workload duration that yields at least `min_events` at
+/// `rate_hz`, with a floor so even fast workloads exercise several
+/// division/shutdown cycles.
+pub fn duration_for_rate(rate_hz: f64, min_events: u64) -> SimTime {
+    let secs = (min_events as f64 / rate_hz).max(0.1);
+    SimTime::ZERO + SimDuration::from_secs_f64(secs)
+}
+
+/// A Poisson workload like the paper's Fig. 6 stimulus, seeded per
+/// rate so sweeps are reproducible point by point.
+pub fn poisson_workload(rate_hz: f64, seed: u64, min_events: u64) -> (SpikeTrain, SimTime) {
+    let horizon = duration_for_rate(rate_hz, min_events);
+    let train = PoissonGenerator::new(rate_hz, 64, seed).generate(horizon);
+    (train, horizon)
+}
+
+/// An LFSR fixed-rate workload like the paper's Fig. 8 power stimulus.
+pub fn lfsr_workload(rate_hz: f64, seed: u32, min_events: u64) -> (SpikeTrain, SimTime) {
+    let horizon = duration_for_rate(rate_hz, min_events);
+    let train = LfsrGenerator::new(rate_hz, seed).generate(horizon);
+    (train, horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_scales_inversely_with_rate() {
+        let slow = duration_for_rate(10.0, 500);
+        let fast = duration_for_rate(1e6, 500);
+        assert!(slow > fast);
+        assert_eq!(slow, SimTime::from_secs(50));
+        assert_eq!(fast, SimTime::from_ms(100), "floor applies");
+    }
+
+    #[test]
+    fn workloads_hit_requested_event_counts() {
+        let (train, _) = poisson_workload(10_000.0, 1, 500);
+        assert!(train.len() >= 350, "poisson events {}", train.len());
+        let (train, _) = lfsr_workload(10_000.0, 1, 500);
+        assert!(train.len() >= 450, "lfsr events {}", train.len());
+    }
+
+    #[test]
+    fn write_result_roundtrip() {
+        let path = write_result("self_test.txt", "hello").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "hello");
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,187 @@
+//! Minimal dependency-free argument parsing.
+//!
+//! The CLI accepts `subcommand [--key value]... [positional]...`
+//! syntax; this module splits and types those pieces with precise
+//! errors. Kept hand-rolled so the workspace's dependency set stays at
+//! the pre-approved offline crates.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag token).
+    pub command: Option<String>,
+    /// `--key value` options.
+    pub options: BTreeMap<String, String>,
+    /// Remaining positional arguments.
+    pub positional: Vec<String>,
+}
+
+/// Argument errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// A `--flag` with no following value.
+    MissingValue {
+        /// The flag name.
+        flag: String,
+    },
+    /// A value failed to parse as the expected type.
+    InvalidValue {
+        /// The flag name.
+        flag: String,
+        /// The raw value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A required option was absent.
+    MissingOption {
+        /// The flag name.
+        flag: String,
+    },
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::MissingValue { flag } => write!(f, "--{flag} needs a value"),
+            ArgsError::InvalidValue { flag, value, expected } => {
+                write!(f, "--{flag} {value:?} is not a valid {expected}")
+            }
+            ArgsError::MissingOption { flag } => write!(f, "required option --{flag} missing"),
+        }
+    }
+}
+
+impl Error for ArgsError {}
+
+impl ParsedArgs {
+    /// Parses a token stream (usually `std::env::args().skip(1)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::MissingValue`] for a trailing flag.
+    pub fn parse(tokens: impl IntoIterator<Item = String>) -> Result<ParsedArgs, ArgsError> {
+        let mut out = ParsedArgs::default();
+        let mut iter = tokens.into_iter();
+        while let Some(tok) = iter.next() {
+            if let Some(flag) = tok.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgsError::MissingValue { flag: flag.to_owned() })?;
+                out.options.insert(flag.to_owned(), value);
+            } else if out.command.is_none() {
+                out.command = Some(tok);
+            } else {
+                out.positional.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// A typed option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::InvalidValue`] if present but unparseable.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgsError> {
+        match self.options.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgsError::InvalidValue {
+                flag: flag.to_owned(),
+                value: raw.clone(),
+                expected,
+            }),
+        }
+    }
+
+    /// A required typed option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::MissingOption`] if absent or
+    /// [`ArgsError::InvalidValue`] if unparseable.
+    pub fn require<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        expected: &'static str,
+    ) -> Result<T, ArgsError> {
+        let raw = self
+            .options
+            .get(flag)
+            .ok_or_else(|| ArgsError::MissingOption { flag: flag.to_owned() })?;
+        raw.parse().map_err(|_| ArgsError::InvalidValue {
+            flag: flag.to_owned(),
+            value: raw.clone(),
+            expected,
+        })
+    }
+
+    /// A raw string option.
+    pub fn get_str(&self, flag: &str) -> Option<&str> {
+        self.options.get(flag).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<ParsedArgs, ArgsError> {
+        ParsedArgs::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn full_command_line() {
+        let a = parse(&["quantize", "--rate", "100000", "--theta", "64", "input.aedat"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("quantize"));
+        assert_eq!(a.get_str("rate"), Some("100000"));
+        assert_eq!(a.positional, vec!["input.aedat"]);
+        assert_eq!(a.get_or("theta", 32u32, "integer").unwrap(), 64);
+        assert_eq!(a.get_or("ndiv", 3u32, "integer").unwrap(), 3, "default applies");
+    }
+
+    #[test]
+    fn trailing_flag_errors() {
+        let err = parse(&["sweep", "--figure"]).unwrap_err();
+        assert_eq!(err, ArgsError::MissingValue { flag: "figure".into() });
+        assert!(err.to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn bad_type_errors() {
+        let a = parse(&["quantize", "--rate", "fast"]).unwrap();
+        let err = a.require::<f64>("rate", "number").unwrap_err();
+        assert!(matches!(err, ArgsError::InvalidValue { .. }));
+        assert!(err.to_string().contains("not a valid number"));
+    }
+
+    #[test]
+    fn missing_required_errors() {
+        let a = parse(&["quantize"]).unwrap();
+        let err = a.require::<f64>("rate", "number").unwrap_err();
+        assert_eq!(err, ArgsError::MissingOption { flag: "rate".into() });
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.command, None);
+        assert!(a.options.is_empty());
+        assert!(a.positional.is_empty());
+    }
+
+    #[test]
+    fn multiple_positionals_keep_order() {
+        let a = parse(&["cmd", "a", "b", "--x", "1", "c"]).unwrap();
+        assert_eq!(a.positional, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,404 @@
+//! CLI subcommand implementations.
+//!
+//! Each command is a pure function from parsed arguments to a report
+//! string, so the whole surface is unit-testable without spawning
+//! processes.
+
+use std::error::Error;
+use std::fmt::Write as _;
+use std::fs;
+
+use aetr::quantizer::{isi_error_samples, quantize_train};
+use aetr::resources::UtilizationReport;
+use aetr_aer::aedat;
+use aetr_aer::generator::{LfsrGenerator, PoissonGenerator, SpikeSource};
+use aetr_aer::spike::SpikeTrain;
+use aetr_analysis::sweep::log_space;
+use aetr_analysis::table::{fmt_sig, Table};
+use aetr_clockgen::config::{ClockGenConfig, DivisionPolicy};
+use aetr_clockgen::schedule::record_waveform;
+use aetr_power::model::PowerModel;
+use aetr_sim::time::{SimDuration, SimTime};
+
+use crate::args::{ArgsError, ParsedArgs};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+aetr-cli — simulator for the DAC'17 energy-proportional AER interface
+
+USAGE:
+  aetr-cli quantize --rate <evt/s> [--theta N] [--ndiv N] [--policy P]
+                    [--duration-ms N] [--seed N] [--generator poisson|lfsr]
+  aetr-cli run      --rate <evt/s> [--theta N] [--ndiv N] [--policy P]
+                    [--duration-ms N] [--seed N]      (full DES interface)
+  aetr-cli replay   <file.aedat> [--theta N] [--ndiv N] [--policy P]
+  aetr-cli record   <file.aedat> --rate <evt/s> [--duration-ms N] [--seed N]
+                    [--generator poisson|lfsr|word]
+  aetr-cli sweep    [--points N] [--theta N]
+  aetr-cli waveform [--theta N] [--ndiv N] [--out file.vcd]
+  aetr-cli resources
+
+POLICIES: recursive (default) | divide-only | never | linear
+";
+
+/// Runs a command line, returning the report text.
+///
+/// # Errors
+///
+/// Returns argument or I/O errors; unknown commands yield the usage
+/// text as an error message.
+pub fn run(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    match args.command.as_deref() {
+        Some("quantize") => cmd_quantize(args),
+        Some("run") => cmd_run(args),
+        Some("replay") => cmd_replay(args),
+        Some("record") => cmd_record(args),
+        Some("sweep") => cmd_sweep(args),
+        Some("waveform") => cmd_waveform(args),
+        Some("resources") => Ok(UtilizationReport::prototype().to_string()),
+        _ => Err(USAGE.into()),
+    }
+}
+
+fn clock_config(args: &ParsedArgs) -> Result<ClockGenConfig, Box<dyn Error>> {
+    let theta: u32 = args.get_or("theta", 64, "integer")?;
+    let ndiv: u32 = args.get_or("ndiv", 3, "integer")?;
+    let policy = match args.get_str("policy").unwrap_or("recursive") {
+        "recursive" => DivisionPolicy::Recursive,
+        "divide-only" => DivisionPolicy::DivideOnly,
+        "never" => DivisionPolicy::Never,
+        "linear" => DivisionPolicy::Linear,
+        other => {
+            return Err(Box::new(ArgsError::InvalidValue {
+                flag: "policy".into(),
+                value: other.into(),
+                expected: "policy (recursive|divide-only|never|linear)",
+            }))
+        }
+    };
+    let config = ClockGenConfig::prototype()
+        .with_theta_div(theta)
+        .with_n_div(ndiv)
+        .with_policy(policy);
+    config.validate()?;
+    Ok(config)
+}
+
+fn report_for(config: &ClockGenConfig, train: &SpikeTrain, horizon: SimTime) -> String {
+    let out = quantize_train(config, train, horizon);
+    let samples = isi_error_samples(&out);
+    let mean_err = if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().map(|s| s.relative_error()).sum::<f64>() / samples.len() as f64
+    };
+    let saturated = out.records.iter().filter(|r| r.saturated).count();
+    let power = PowerModel::igloo_nano().evaluate(&out.activity);
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "config: theta_div={}, n_div={}, policy={}, T_min={}",
+        config.theta_div,
+        config.n_div,
+        config.policy,
+        config.base_sampling_period()
+    );
+    let _ = writeln!(
+        text,
+        "events: {} ({} saturated, {:.1}%)",
+        out.records.len(),
+        saturated,
+        100.0 * saturated as f64 / out.records.len().max(1) as f64
+    );
+    let _ = writeln!(text, "mean relative timestamp error: {:.3}%", mean_err * 100.0);
+    let _ = writeln!(text, "average power: {}", power.total);
+    text
+}
+
+fn cmd_quantize(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    let rate: f64 = args.require("rate", "number")?;
+    let duration_ms: u64 = args.get_or("duration-ms", 100, "integer")?;
+    let seed: u64 = args.get_or("seed", 1, "integer")?;
+    let config = clock_config(args)?;
+    let horizon = SimTime::from_ms(duration_ms);
+    let generator = args.get_str("generator").unwrap_or("poisson");
+    let train = match generator {
+        "poisson" => PoissonGenerator::new(rate, 64, seed).generate(horizon),
+        "lfsr" => LfsrGenerator::new(rate, seed as u32).generate(horizon),
+        other => {
+            return Err(Box::new(ArgsError::InvalidValue {
+                flag: "generator".into(),
+                value: other.into(),
+                expected: "generator (poisson|lfsr)",
+            }))
+        }
+    };
+    Ok(format!(
+        "workload: {} events at {} evt/s over {duration_ms} ms ({generator})\n{}",
+        train.len(),
+        fmt_sig(rate),
+        report_for(&config, &train, horizon)
+    ))
+}
+
+fn cmd_run(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    use aetr::interface::{AerToI2sInterface, InterfaceConfig};
+    use aetr::latency::LatencyReport;
+
+    let rate: f64 = args.require("rate", "number")?;
+    let duration_ms: u64 = args.get_or("duration-ms", 20, "integer")?;
+    let seed: u64 = args.get_or("seed", 1, "integer")?;
+    let clock = clock_config(args)?;
+    let config = InterfaceConfig { clock, ..InterfaceConfig::prototype() };
+    let horizon = SimTime::from_ms(duration_ms);
+    let train = PoissonGenerator::new(rate, 64, seed).generate(horizon);
+    let n = train.len();
+    let interface = AerToI2sInterface::new(config)?;
+    let report = interface.run(train, horizon);
+    report.handshake.verify_protocol()?;
+
+    let mut text = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(text, "full DES run: {n} events at {} evt/s over {duration_ms} ms", fmt_sig(rate));
+    let _ = writeln!(text, "power:  {}", report.power.total);
+    let _ = writeln!(text, "wakes:  {}", report.wake_count);
+    let _ = writeln!(text, "fifo:   {}", report.fifo_stats);
+    let _ = writeln!(
+        text,
+        "i2s:    {} frames carrying {} events",
+        report.i2s.len(),
+        report.i2s.event_count()
+    );
+    if let Some(lat) = LatencyReport::from_report(&report, &config.i2s) {
+        let _ = write!(text, "latency: {lat}");
+    }
+    Ok(text)
+}
+
+fn cmd_record(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("record needs an output .aedat file argument")?;
+    let duration_ms: u64 = args.get_or("duration-ms", 100, "integer")?;
+    let seed: u64 = args.get_or("seed", 1, "integer")?;
+    let horizon = SimTime::from_ms(duration_ms);
+    let generator = args.get_str("generator").unwrap_or("poisson");
+    let (train, label) = match generator {
+        "poisson" => {
+            let rate: f64 = args.require("rate", "number")?;
+            (PoissonGenerator::new(rate, 64, seed).generate(horizon), format!("poisson {rate} evt/s"))
+        }
+        "lfsr" => {
+            let rate: f64 = args.require("rate", "number")?;
+            (LfsrGenerator::new(rate, seed as u32).generate(horizon), format!("lfsr {rate} evt/s"))
+        }
+        "word" => {
+            use aetr_cochlea::model::{Cochlea, CochleaConfig};
+            let mut cochlea = Cochlea::new(CochleaConfig::das1())?;
+            (
+                cochlea.process(&aetr_cochlea::word::fig7_word(16_000, seed)),
+                "cochlea word".to_owned(),
+            )
+        }
+        other => {
+            return Err(Box::new(ArgsError::InvalidValue {
+                flag: "generator".into(),
+                value: other.into(),
+                expected: "generator (poisson|lfsr|word)",
+            }))
+        }
+    };
+    let mut bytes = Vec::new();
+    aedat::write_aedat(&train, &[&format!("aetr-cli record: {label}, seed {seed}")], &mut bytes)?;
+    fs::write(path, &bytes)?;
+    Ok(format!("recorded {} events ({label}) -> {path}", train.len()))
+}
+
+fn cmd_replay(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    let path = args
+        .positional
+        .first()
+        .ok_or("replay needs a .aedat file argument")?;
+    let bytes = fs::read(path)?;
+    let train = aedat::read_aedat(&bytes[..])?;
+    let horizon = train
+        .last_time()
+        .unwrap_or(SimTime::ZERO)
+        .saturating_add(SimDuration::from_ms(1));
+    let config = clock_config(args)?;
+    Ok(format!(
+        "replaying {path}: {} events over {}\n{}",
+        train.len(),
+        train.duration(),
+        report_for(&config, &train, horizon)
+    ))
+}
+
+fn cmd_sweep(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    let points: usize = args.get_or("points", 9, "integer")?;
+    let config = clock_config(args)?;
+    let model = PowerModel::igloo_nano();
+    let mut table = Table::new(vec!["rate (evt/s)", "mean err %", "sat %", "power (uW)"]);
+    for (i, &rate) in log_space(100.0, 1e6, points.max(2)).iter().enumerate() {
+        let secs = (1_000.0 / rate).max(0.1);
+        let horizon = SimTime::ZERO + SimDuration::from_secs_f64(secs);
+        let train = PoissonGenerator::new(rate, 64, 10 + i as u64).generate(horizon);
+        let out = quantize_train(&config, &train, horizon);
+        let samples = isi_error_samples(&out);
+        let mean_err = samples.iter().map(|s| s.relative_error()).sum::<f64>()
+            / samples.len().max(1) as f64;
+        let sat = out.records.iter().filter(|r| r.saturated).count() as f64
+            / out.records.len().max(1) as f64;
+        let power = model.evaluate(&out.activity).total;
+        table.row(vec![
+            fmt_sig(rate),
+            format!("{:.3}", mean_err * 100.0),
+            format!("{:.1}", sat * 100.0),
+            format!("{:.1}", power.as_microwatts()),
+        ]);
+    }
+    Ok(table.to_ascii())
+}
+
+fn cmd_waveform(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    let theta: u32 = args.get_or("theta", 8, "integer")?;
+    let ndiv: u32 = args.get_or("ndiv", 3, "integer")?;
+    let config = ClockGenConfig::prototype().with_theta_div(theta).with_n_div(ndiv);
+    config.validate()?;
+    let wave = record_waveform(&config, &[], SimTime::from_ms(1));
+    let mut vcd = Vec::new();
+    aetr_sim::vcd::write_vcd(&wave.tracer, &mut vcd)?;
+    let out = args.get_str("out").unwrap_or("aetr_waveform.vcd");
+    fs::write(out, &vcd)?;
+    Ok(format!(
+        "recorded {} clock edges, {} divisions, {} shutdowns -> {out}",
+        wave.rising_edges().len(),
+        wave.divisions.len(),
+        wave.shutdowns.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &[&str]) -> Result<String, Box<dyn Error>> {
+        run(&ParsedArgs::parse(line.iter().map(|s| s.to_string())).expect("parse"))
+    }
+
+    #[test]
+    fn quantize_reports_accuracy_and_power() {
+        let text = run_line(&["quantize", "--rate", "100000", "--duration-ms", "50"]).unwrap();
+        assert!(text.contains("mean relative timestamp error"), "{text}");
+        assert!(text.contains("average power"), "{text}");
+        assert!(text.contains("theta_div=64"), "{text}");
+    }
+
+    #[test]
+    fn quantize_honours_policy_and_generator() {
+        let text = run_line(&[
+            "quantize",
+            "--rate",
+            "50000",
+            "--policy",
+            "never",
+            "--generator",
+            "lfsr",
+            "--duration-ms",
+            "20",
+        ])
+        .unwrap();
+        assert!(text.contains("policy=no-division"), "{text}");
+        assert!(text.contains("(lfsr)"), "{text}");
+    }
+
+    #[test]
+    fn sweep_produces_a_table() {
+        let text = run_line(&["sweep", "--points", "4"]).unwrap();
+        assert!(text.contains("rate (evt/s)"));
+        assert_eq!(text.lines().count(), 6, "{text}"); // header + rule + 4 rows
+    }
+
+    #[test]
+    fn replay_roundtrips_an_aedat_file() {
+        let train = PoissonGenerator::new(20_000.0, 64, 9).generate(SimTime::from_ms(50));
+        let mut bytes = Vec::new();
+        aedat::write_aedat(&train, &["cli test"], &mut bytes).unwrap();
+        let dir = std::env::temp_dir().join("aetr_cli_test.aedat");
+        fs::write(&dir, &bytes).unwrap();
+        let text =
+            run_line(&["replay", dir.to_str().unwrap(), "--theta", "32"]).unwrap();
+        assert!(text.contains("replaying"), "{text}");
+        assert!(text.contains("theta_div=32"), "{text}");
+        let _ = fs::remove_file(dir);
+    }
+
+    #[test]
+    fn waveform_writes_vcd() {
+        let out = std::env::temp_dir().join("aetr_cli_test.vcd");
+        let text =
+            run_line(&["waveform", "--out", out.to_str().unwrap()]).unwrap();
+        assert!(text.contains("divisions"), "{text}");
+        let vcd = fs::read_to_string(&out).unwrap();
+        assert!(vcd.contains("$timescale"));
+        let _ = fs::remove_file(out);
+    }
+
+    #[test]
+    fn record_then_replay_roundtrip() {
+        let path = std::env::temp_dir().join("aetr_cli_record.aedat");
+        let p = path.to_str().unwrap();
+        let text =
+            run_line(&["record", p, "--rate", "30000", "--duration-ms", "40"]).unwrap();
+        assert!(text.contains("recorded"), "{text}");
+        let text = run_line(&["replay", p]).unwrap();
+        assert!(text.contains("replaying"), "{text}");
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn record_word_generator() {
+        let path = std::env::temp_dir().join("aetr_cli_word.aedat");
+        let p = path.to_str().unwrap();
+        let text = run_line(&["record", p, "--generator", "word"]).unwrap();
+        assert!(text.contains("cochlea word"), "{text}");
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn full_des_run_reports_everything() {
+        let text =
+            run_line(&["run", "--rate", "100000", "--duration-ms", "5"]).unwrap();
+        assert!(text.contains("power:"), "{text}");
+        assert!(text.contains("latency:"), "{text}");
+        assert!(text.contains("i2s:"), "{text}");
+    }
+
+    #[test]
+    fn resources_prints_the_table() {
+        let text = run_line(&["resources"]).unwrap();
+        assert!(text.contains("IGLOOnano"));
+    }
+
+    #[test]
+    fn unknown_command_yields_usage() {
+        let err = run_line(&["frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("USAGE"));
+        let err = run_line(&[]).unwrap_err();
+        assert!(err.to_string().contains("USAGE"));
+    }
+
+    #[test]
+    fn invalid_policy_is_a_clean_error() {
+        let err = run_line(&["quantize", "--rate", "1000", "--policy", "warp"]).unwrap_err();
+        assert!(err.to_string().contains("policy"), "{err}");
+    }
+
+    #[test]
+    fn invalid_clock_config_is_rejected() {
+        let err = run_line(&["quantize", "--rate", "1000", "--theta", "1"]).unwrap_err();
+        assert!(err.to_string().contains("theta"), "{err}");
+    }
+}

@@ -1,0 +1,37 @@
+//! `aetr-cli` — command-line front end for the AETR interface
+//! simulator.
+//!
+//! ```sh
+//! aetr-cli quantize --rate 100000 --theta 64
+//! aetr-cli replay recording.aedat
+//! aetr-cli sweep --points 12
+//! aetr-cli waveform --theta 8 --ndiv 3 --out fig2.vcd
+//! aetr-cli resources
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let parsed = match args::ParsedArgs::parse(std::env::args().skip(1)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

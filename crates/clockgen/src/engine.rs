@@ -1,0 +1,356 @@
+//! Fast behavioral sampling engine.
+//!
+//! Folds a stream of AER request times through the
+//! [`crate::segments::SegmentTable`], producing per-event
+//! quantized timestamps and an exact clock-activity breakdown for the
+//! power model — the "Matlab-equivalent" model behind Fig. 6 and the
+//! workload half of Fig. 8, but O(events) rather than O(clock ticks).
+
+use serde::{Deserialize, Serialize};
+
+use aetr_sim::time::{SimDuration, SimTime};
+
+use crate::config::ClockGenConfig;
+use crate::segments::{IntervalUsage, QuantizeOutcome, SegmentTable};
+
+/// One event as seen by the sampling engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantizedEvent {
+    /// When the AER request was asserted.
+    pub request: SimTime,
+    /// When the interface's sampling clock detected it (counter reset
+    /// instant for the next measurement).
+    pub detection: SimTime,
+    /// The timestamp recorded for this event, in `T_min` units, after
+    /// counter-width clamping.
+    pub timestamp_ticks: u64,
+    /// `true` if the timestamp saturated (clock shut down before the
+    /// event, or counter width exceeded).
+    pub saturated: bool,
+    /// `true` if this event had to restart the ring oscillator.
+    pub woke_clock: bool,
+}
+
+impl QuantizedEvent {
+    /// The measured inter-event interval this timestamp encodes.
+    pub fn measured_interval(&self, base_period: SimDuration) -> SimDuration {
+        base_period.saturating_mul(self.timestamp_ticks)
+    }
+}
+
+/// Aggregate clock activity over a whole run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivityReport {
+    /// Per-multiplier active time plus off time.
+    pub usage: IntervalUsage,
+    /// Number of ring-oscillator restarts.
+    pub wake_count: u64,
+    /// Number of events processed.
+    pub event_count: u64,
+    /// Number of saturated timestamps.
+    pub saturated_count: u64,
+}
+
+impl ActivityReport {
+    /// Fraction of events with saturated timestamps.
+    pub fn saturation_ratio(&self) -> f64 {
+        if self.event_count == 0 {
+            0.0
+        } else {
+            self.saturated_count as f64 / self.event_count as f64
+        }
+    }
+}
+
+/// The behavioral sampling engine.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_clockgen::config::ClockGenConfig;
+/// use aetr_clockgen::engine::SamplingEngine;
+/// use aetr_sim::time::SimTime;
+///
+/// let mut engine = SamplingEngine::new(&ClockGenConfig::prototype());
+/// let ev = engine.process(SimTime::from_us(10));
+/// assert!(!ev.saturated);
+/// assert!(ev.detection >= ev.request);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplingEngine {
+    table: SegmentTable,
+    base_period: SimDuration,
+    wake_latency: SimDuration,
+    counter_max: u64,
+    last_detection: SimTime,
+    report: ActivityReport,
+}
+
+impl SamplingEngine {
+    /// Creates an engine at time zero (clock just reset, counter zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` does not validate.
+    pub fn new(config: &ClockGenConfig) -> SamplingEngine {
+        SamplingEngine {
+            table: SegmentTable::new(config),
+            base_period: config.base_sampling_period(),
+            wake_latency: config.ring.wake_latency,
+            counter_max: config.counter_max(),
+            last_detection: SimTime::ZERO,
+            report: ActivityReport::default(),
+        }
+    }
+
+    /// The precomputed segment table in use.
+    pub fn table(&self) -> &SegmentTable {
+        &self.table
+    }
+
+    /// Processes the next AER request. Requests must be fed in
+    /// non-decreasing time order; a request that arrives while the
+    /// previous handshake is still pending is detected at the next
+    /// available tick (AER serialisation).
+    pub fn process(&mut self, request: SimTime) -> QuantizedEvent {
+        let delta = request.saturating_duration_since(self.last_detection);
+        let (event, busy_until) = match self.table.quantize(delta) {
+            QuantizeOutcome::Sampled { detection_offset, ticks } => {
+                let detection = self.last_detection + detection_offset;
+                let clamped = ticks.min(self.counter_max);
+                let event = QuantizedEvent {
+                    request,
+                    detection,
+                    timestamp_ticks: clamped,
+                    saturated: clamped != ticks,
+                    woke_clock: false,
+                };
+                (event, detection_offset)
+            }
+            QuantizeOutcome::Asleep { frozen_ticks, off_since } => {
+                // Clock off: REQ restarts the oscillator; first usable
+                // tick lands one base period after the wake latency.
+                let detection = request + self.wake_latency + self.base_period;
+                let clamped = frozen_ticks.min(self.counter_max);
+                let event = QuantizedEvent {
+                    request,
+                    detection,
+                    timestamp_ticks: clamped,
+                    saturated: true,
+                    woke_clock: true,
+                };
+                self.report.wake_count += 1;
+                // Active time: segments up to shutdown, then off until
+                // the request, then the wake interval at full speed.
+                let mut usage = self.table.usage_until(off_since);
+                usage.off += delta - off_since;
+                usage.add_active(1, self.wake_latency + self.base_period);
+                self.account(event, usage);
+                self.last_detection = detection;
+                return event;
+            }
+        };
+        let usage = self.table.usage_until(busy_until);
+        self.account(event, usage);
+        self.last_detection = event.detection;
+        event
+    }
+
+    fn account(&mut self, event: QuantizedEvent, usage: IntervalUsage) {
+        self.report.usage.merge(&usage);
+        self.report.event_count += 1;
+        if event.saturated {
+            self.report.saturated_count += 1;
+        }
+    }
+
+    /// Accounts for the trailing quiet interval up to `horizon` (no
+    /// event there; the clock divides and eventually stops on its own).
+    ///
+    /// Call once at the end of a run so that the activity report covers
+    /// exactly `[0, horizon]`.
+    pub fn finish(&mut self, horizon: SimTime) -> &ActivityReport {
+        let tail = horizon.saturating_duration_since(self.last_detection);
+        if !tail.is_zero() {
+            let usage = self.table.usage_until(tail);
+            self.report.usage.merge(&usage);
+            self.last_detection = horizon;
+        }
+        &self.report
+    }
+
+    /// The activity report accumulated so far.
+    pub fn report(&self) -> &ActivityReport {
+        &self.report
+    }
+
+    /// The base sampling period `T_min`.
+    pub fn base_period(&self) -> SimDuration {
+        self.base_period
+    }
+}
+
+/// Quantizes a whole request-time sequence in one call, returning the
+/// events and the activity over `[0, horizon]`.
+///
+/// # Panics
+///
+/// Panics if `requests` is not sorted by non-decreasing time or if the
+/// configuration is invalid.
+pub fn quantize_requests(
+    config: &ClockGenConfig,
+    requests: &[SimTime],
+    horizon: SimTime,
+) -> (Vec<QuantizedEvent>, ActivityReport) {
+    assert!(requests.windows(2).all(|w| w[1] >= w[0]), "requests must be time-sorted");
+    let mut engine = SamplingEngine::new(config);
+    let events = requests.iter().map(|&r| engine.process(r)).collect();
+    engine.finish(horizon);
+    (events, engine.report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DivisionPolicy;
+
+    fn proto() -> ClockGenConfig {
+        ClockGenConfig::prototype()
+    }
+
+    fn base() -> SimDuration {
+        proto().base_sampling_period()
+    }
+
+    #[test]
+    fn single_fast_event_measures_one_interval() {
+        let mut engine = SamplingEngine::new(&proto());
+        // Request exactly at 10 base periods: detected there, ts = 10.
+        let ev = engine.process(SimTime::ZERO + base() * 10);
+        assert_eq!(ev.timestamp_ticks, 10);
+        assert!(!ev.saturated);
+        assert!(!ev.woke_clock);
+        assert_eq!(ev.detection, SimTime::ZERO + base() * 10);
+    }
+
+    #[test]
+    fn consecutive_events_measure_deltas_not_absolutes() {
+        let mut engine = SamplingEngine::new(&proto());
+        let first = engine.process(SimTime::ZERO + base() * 10);
+        let second = engine.process(first.detection + base() * 7);
+        assert_eq!(second.timestamp_ticks, 7, "timestamp is the delta from the previous event");
+    }
+
+    #[test]
+    fn event_beyond_shutdown_saturates_and_wakes() {
+        let cfg = proto();
+        let table = SegmentTable::new(&cfg);
+        let beyond = table.shutdown_offset().unwrap() + SimDuration::from_ms(10);
+        let mut engine = SamplingEngine::new(&cfg);
+        let ev = engine.process(SimTime::ZERO + beyond);
+        assert!(ev.saturated);
+        assert!(ev.woke_clock);
+        assert_eq!(ev.timestamp_ticks, 64 * 15);
+        assert_eq!(ev.detection, ev.request + cfg.ring.wake_latency + base());
+        assert_eq!(engine.report().wake_count, 1);
+    }
+
+    #[test]
+    fn serialized_requests_never_share_a_tick() {
+        let mut engine = SamplingEngine::new(&proto());
+        // Three requests inside one base period.
+        let t = SimTime::from_ns(10);
+        let a = engine.process(t);
+        let b = engine.process(t + SimDuration::from_ns(1));
+        let c = engine.process(t + SimDuration::from_ns(2));
+        assert!(b.detection > a.detection);
+        assert!(c.detection > b.detection);
+        // Each measured as one tick minimum.
+        assert_eq!(b.timestamp_ticks, 1);
+        assert_eq!(c.timestamp_ticks, 1);
+    }
+
+    #[test]
+    fn activity_covers_whole_horizon() {
+        let cfg = proto();
+        let horizon = SimTime::from_ms(50);
+        let requests: Vec<SimTime> =
+            (1..=100).map(|i| SimTime::from_us(i * 400)).collect();
+        let (_, report) = quantize_requests(&cfg, &requests, horizon);
+        let total = report.usage.total();
+        // The accounted time equals the horizon, minus only the wake
+        // overlap corrections (bounded by wakes · (wake+base)).
+        let slack = SimDuration::from_us(1).saturating_mul(report.wake_count + 1);
+        let lo = horizon.saturating_duration_since(SimTime::ZERO) - slack;
+        let hi = horizon.saturating_duration_since(SimTime::ZERO) + slack;
+        assert!(total >= lo && total <= hi, "accounted {total} vs horizon 50 ms");
+    }
+
+    #[test]
+    fn no_division_policy_never_sleeps() {
+        let cfg = proto().with_policy(DivisionPolicy::Never);
+        let requests = vec![SimTime::from_ms(1), SimTime::from_secs(1)];
+        let (events, report) = quantize_requests(&cfg, &requests, SimTime::from_secs(2));
+        assert_eq!(report.wake_count, 0);
+        assert!(events.iter().all(|e| !e.woke_clock));
+        assert_eq!(report.usage.off, SimDuration::ZERO);
+        assert_eq!(report.usage.active.len(), 1);
+        assert_eq!(report.usage.active[0].0, 1);
+    }
+
+    #[test]
+    fn counter_width_clamp_marks_saturated() {
+        let cfg = ClockGenConfig {
+            counter_bits: 6, // max 63 ticks
+            ..proto().with_policy(DivisionPolicy::Never)
+        };
+        let mut engine = SamplingEngine::new(&cfg);
+        let ev = engine.process(SimTime::ZERO + base() * 100);
+        assert_eq!(ev.timestamp_ticks, 63);
+        assert!(ev.saturated);
+    }
+
+    #[test]
+    fn measured_interval_helper() {
+        let ev = QuantizedEvent {
+            request: SimTime::ZERO,
+            detection: SimTime::ZERO,
+            timestamp_ticks: 10,
+            saturated: false,
+            woke_clock: false,
+        };
+        assert_eq!(ev.measured_interval(SimDuration::from_ns(100)), SimDuration::from_us(1));
+    }
+
+    #[test]
+    fn relative_error_in_active_region_is_bounded() {
+        // Analytic check (the full Fig. 6 sweep lives in the bench
+        // crate): for deltas inside segment k the relative quantization
+        // error is at most 2^k·T/delta <= 1/θ · 2^k·θ·T/delta < ~2/θ
+        // once delta is past the segment's start.
+        let cfg = proto(); // θ = 64
+        let mut worst: f64 = 0.0;
+        for i in 1..2_000u64 {
+            let delta = base() * 64 + SimDuration::from_ps(i * 1_234_567 % (base() * 800).as_ps());
+            let mut engine = SamplingEngine::new(&cfg);
+            let ev = engine.process(SimTime::ZERO + delta);
+            if ev.saturated {
+                continue;
+            }
+            let measured = ev.measured_interval(base()).as_secs_f64();
+            let truth = delta.as_secs_f64();
+            worst = worst.max((measured - truth).abs() / truth);
+        }
+        assert!(worst < 2.0 / 64.0 + 0.01, "worst active-region error {worst}");
+    }
+
+    #[test]
+    #[should_panic(expected = "time-sorted")]
+    fn unsorted_requests_panic() {
+        let _ = quantize_requests(
+            &proto(),
+            &[SimTime::from_us(5), SimTime::from_us(1)],
+            SimTime::from_ms(1),
+        );
+    }
+}

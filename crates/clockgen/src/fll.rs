@@ -1,0 +1,247 @@
+//! Frequency-locked loop: continuous background calibration of the
+//! ring oscillator against a slow crystal reference.
+//!
+//! The [trim search](crate::trim) is a boot-time, one-shot
+//! calibration; in the field, temperature keeps moving and a deployed
+//! interface re-trims continuously: count ring edges over a
+//! crystal-gated window, compare with the expected count, and nudge a
+//! trim register. This module models that loop — including its
+//! quantisation floor (one trim step) and its settling behaviour —
+//! so the timestamp-accuracy impact of frequency drift between
+//! re-trims can be bounded.
+//!
+//! The trim register here adjusts the effective stage delay in fine
+//! steps (capacitive trim), which is how fabric oscillators are tuned
+//! when inverter-pair granularity (~15 % at 13 stages) is too coarse.
+
+use serde::{Deserialize, Serialize};
+
+use aetr_sim::time::{Frequency, SimDuration};
+
+/// FLL configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FllConfig {
+    /// Target output frequency.
+    pub target: Frequency,
+    /// Gate window over which ring edges are counted (a 32 kHz crystal
+    /// divided down: e.g. 1 ms).
+    pub gate: SimDuration,
+    /// Proportional gain: trim steps applied per count of error.
+    pub gain: f64,
+    /// Trim step as a fraction of the stage delay (fine capacitive
+    /// trim, e.g. 0.2 %).
+    pub trim_step: f64,
+    /// Trim register range: `[-range, +range]` steps.
+    pub trim_range: i32,
+}
+
+impl FllConfig {
+    /// A 120 MHz target gated at 1 ms with 0.2 % trim steps over ±64.
+    pub fn prototype() -> FllConfig {
+        FllConfig {
+            target: Frequency::from_mhz(120),
+            gate: SimDuration::from_ms(1),
+            gain: 0.25,
+            trim_step: 0.002,
+            trim_range: 64,
+        }
+    }
+
+    /// Ring edges expected in one gate window at the target frequency.
+    pub fn expected_count(&self) -> u64 {
+        (self.target.as_hz_f64() * self.gate.as_secs_f64()).round() as u64
+    }
+}
+
+impl Default for FllConfig {
+    fn default() -> Self {
+        Self::prototype()
+    }
+}
+
+/// The frequency-locked loop state.
+///
+/// Drive it once per gate window with the measured edge count; read
+/// back the trim factor to apply to the oscillator's stage delay.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_clockgen::fll::{Fll, FllConfig};
+///
+/// let mut fll = Fll::new(FllConfig::prototype());
+/// // The ring runs 5% slow: fewer edges than expected.
+/// let slow_count = (fll.config().expected_count() as f64 * 0.95) as u64;
+/// fll.update(slow_count);
+/// // The loop trims the delay down (factor < 1 speeds the ring up).
+/// assert!(fll.delay_factor() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fll {
+    config: FllConfig,
+    trim: i32,
+    updates: u64,
+    locked_streak: u32,
+}
+
+impl Fll {
+    /// Creates the loop at trim zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive gain, trim step, or an empty gate.
+    pub fn new(config: FllConfig) -> Fll {
+        assert!(config.gain > 0.0, "gain must be positive");
+        assert!(config.trim_step > 0.0, "trim step must be positive");
+        assert!(!config.gate.is_zero(), "gate window must be non-zero");
+        assert!(config.trim_range > 0, "trim range must be positive");
+        Fll { config, trim: 0, updates: 0, locked_streak: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FllConfig {
+        &self.config
+    }
+
+    /// Current trim register value (steps).
+    pub fn trim(&self) -> i32 {
+        self.trim
+    }
+
+    /// Multiplicative factor to apply to the oscillator's stage delay:
+    /// positive trim slows the ring (longer delay), negative speeds it.
+    pub fn delay_factor(&self) -> f64 {
+        1.0 + self.trim as f64 * self.config.trim_step
+    }
+
+    /// Feeds one gate-window measurement; returns the new trim.
+    ///
+    /// Too few edges (ring slow) → negative trim movement (shorter
+    /// delay); too many → positive.
+    pub fn update(&mut self, measured_count: u64) -> i32 {
+        self.updates += 1;
+        let expected = self.config.expected_count() as f64;
+        let error = measured_count as f64 - expected;
+        // Relative error times steps-per-unit: one trim step changes
+        // the count by roughly trim_step * expected.
+        let steps = self.config.gain * error / (self.config.trim_step * expected);
+        let delta = steps.round() as i32;
+        self.trim = (self.trim + delta).clamp(-self.config.trim_range, self.config.trim_range);
+        if delta == 0 {
+            self.locked_streak += 1;
+        } else {
+            self.locked_streak = 0;
+        }
+        self.trim
+    }
+
+    /// `true` once the loop has held the same trim for three windows.
+    pub fn is_locked(&self) -> bool {
+        self.locked_streak >= 3
+    }
+
+    /// Gate windows processed.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+}
+
+/// Simulates the closed loop against an oscillator whose *untrimmed*
+/// frequency is `actual`: each window, the FLL measures
+/// `actual / delay_factor` edges and updates. Returns the relative
+/// frequency error after `windows` iterations.
+pub fn settle(config: FllConfig, actual: Frequency, windows: u32) -> (Fll, f64) {
+    let mut fll = Fll::new(config);
+    for _ in 0..windows {
+        let effective_hz = actual.as_hz_f64() / fll.delay_factor();
+        let count = (effective_hz * config.gate.as_secs_f64()).round() as u64;
+        fll.update(count);
+    }
+    let final_hz = actual.as_hz_f64() / fll.delay_factor();
+    let err = (final_hz - config.target.as_hz_f64()).abs() / config.target.as_hz_f64();
+    (fll, err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_target_ring_stays_untouched() {
+        let cfg = FllConfig::prototype();
+        let (fll, err) = settle(cfg, Frequency::from_mhz(120), 10);
+        assert_eq!(fll.trim(), 0);
+        assert!(err < 1e-6);
+        assert!(fll.is_locked());
+    }
+
+    /// The loop stops correcting once the per-window step rounds to
+    /// zero: residual error is bounded by the deadband
+    /// `trim_step / (2·gain)` plus half a trim step.
+    fn quantisation_floor(cfg: &FllConfig) -> f64 {
+        cfg.trim_step / (2.0 * cfg.gain) + cfg.trim_step
+    }
+
+    #[test]
+    fn slow_ring_is_pulled_to_target() {
+        // 5% slow (hot corner): the loop converges to the quantisation
+        // floor of the trim DAC.
+        let cfg = FllConfig::prototype();
+        let (fll, err) = settle(cfg, Frequency::from_mhz(114), 40);
+        assert!(err < quantisation_floor(&cfg), "settled error {err}");
+        assert!(fll.trim() < 0, "slow ring needs negative (shorter-delay) trim");
+        assert!(fll.is_locked());
+    }
+
+    #[test]
+    fn fast_ring_is_pulled_down() {
+        let cfg = FllConfig::prototype();
+        let (fll, err) = settle(cfg, Frequency::from_mhz(126), 40);
+        assert!(err < quantisation_floor(&cfg), "settled error {err}");
+        assert!(fll.trim() > 0);
+    }
+
+    #[test]
+    fn drift_beyond_trim_range_clamps() {
+        // 30% slow exceeds the ±64 × 0.2% = ±12.8% authority: the loop
+        // rails at the clamp without oscillating.
+        let cfg = FllConfig::prototype();
+        let (fll, err) = settle(cfg, Frequency::from_mhz(84), 60);
+        assert_eq!(fll.trim(), -cfg.trim_range);
+        assert!(err > 0.1, "error remains, honestly reported: {err}");
+    }
+
+    #[test]
+    fn lock_is_reported_only_after_stability() {
+        let cfg = FllConfig::prototype();
+        let mut fll = Fll::new(cfg);
+        let slow = (cfg.expected_count() as f64 * 0.97) as u64;
+        fll.update(slow);
+        assert!(!fll.is_locked(), "first correction cannot be locked");
+    }
+
+    #[test]
+    fn settling_is_fast() {
+        // A 3% step disturbance settles in a handful of windows.
+        let cfg = FllConfig::prototype();
+        let mut fll = Fll::new(cfg);
+        let actual = Frequency::from_mhz(116);
+        let mut settled_at = None;
+        for w in 0..30u32 {
+            let effective = actual.as_hz_f64() / fll.delay_factor();
+            let count = (effective * cfg.gate.as_secs_f64()).round() as u64;
+            fll.update(count);
+            if fll.is_locked() && settled_at.is_none() {
+                settled_at = Some(w);
+            }
+        }
+        let settled = settled_at.expect("loop must lock");
+        assert!(settled < 20, "locked after {settled} windows");
+    }
+
+    #[test]
+    #[should_panic(expected = "gain")]
+    fn zero_gain_panics() {
+        let _ = Fll::new(FllConfig { gain: 0.0, ..FllConfig::prototype() });
+    }
+}

@@ -1,0 +1,497 @@
+//! Cycle-accurate sampling FSM — a direct transcription of the paper's
+//! Fig. 1 pseudo-code.
+//!
+//! ```text
+//! function AETRsampling(Tmin, θdiv, Ndiv)
+//!   Tsample ← Tmin; cnt_sample ← 0; cnt_div ← 0
+//!   loop
+//!     if request() then
+//!       sample(); acknowledge()
+//!       cnt_sample ← 0; cnt_div ← 0; Tsample ← Tmin
+//!     else if cnt_sample = θdiv then
+//!       if cnt_div = Ndiv then shutdown_clk(); wait_for_request()
+//!       else Tsample ← 2·Tsample; cnt_sample ← 0; cnt_div ← cnt_div+1
+//!     else cnt_sample ← cnt_sample + 1
+//!     wait_one_cycle()
+//! ```
+//!
+//! One simplification relative to the letter of the pseudo-code: the
+//! division is applied on the tick at which `cnt_sample` *reaches*
+//! `θ_div` rather than burning an extra bookkeeping cycle, so every
+//! period runs for exactly `θ_div` ticks. This matches the segment
+//! table in [`crate::segments`], and their equivalence is
+//! property-tested below.
+
+use serde::{Deserialize, Serialize};
+
+use aetr_sim::time::SimDuration;
+
+use crate::config::{ClockGenConfig, DivisionPolicy};
+
+/// What happened on a sampling tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FsmAction {
+    /// A pending request was sampled; counter and period reset.
+    Sampled {
+        /// Counter value captured as the event timestamp (in `T_min`
+        /// units, before width clamping).
+        timestamp_ticks: u64,
+    },
+    /// Quiet tick; the counter advanced by the current increment.
+    Ticked,
+    /// Quiet tick that also divided the clock.
+    Divided {
+        /// New period multiplier.
+        multiplier: u64,
+    },
+    /// Quiet tick that switched the clock off.
+    ShutDown,
+}
+
+/// Cycle-accurate state of the Fig. 1 sampling FSM.
+///
+/// Drive it with [`on_tick`](SamplerFsm::on_tick) at every sampling
+/// clock edge, passing whether an AER request is pending. While
+/// [asleep](SamplerFsm::is_asleep) there are no ticks; call
+/// [`wake`](SamplerFsm::wake) when a request restarts the oscillator.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_clockgen::config::ClockGenConfig;
+/// use aetr_clockgen::fsm::{FsmAction, SamplerFsm};
+///
+/// let mut fsm = SamplerFsm::new(&ClockGenConfig::prototype().with_theta_div(4));
+/// for _ in 0..4 {
+///     assert!(matches!(fsm.on_tick(false), FsmAction::Ticked | FsmAction::Divided { .. }));
+/// }
+/// assert_eq!(fsm.multiplier(), 2); // divided after θ=4 ticks
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplerFsm {
+    theta_div: u32,
+    n_div: u32,
+    policy: DivisionPolicy,
+    counter_max: u64,
+    base_period: SimDuration,
+
+    multiplier: u64,
+    cnt_sample: u32,
+    cnt_div: u32,
+    counter: u64,
+    asleep: bool,
+}
+
+impl SamplerFsm {
+    /// Creates the FSM in its reset state (fastest period, counters
+    /// zero, clock running).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` does not validate.
+    pub fn new(config: &ClockGenConfig) -> SamplerFsm {
+        config.validate().expect("sampler FSM requires a valid configuration");
+        SamplerFsm {
+            theta_div: config.theta_div,
+            n_div: config.n_div,
+            policy: config.policy,
+            counter_max: config.counter_max(),
+            base_period: config.base_sampling_period(),
+            multiplier: 1,
+            cnt_sample: 0,
+            cnt_div: 0,
+            counter: 0,
+            asleep: false,
+        }
+    }
+
+    /// Current sampling period (`multiplier · T_min`).
+    pub fn current_period(&self) -> SimDuration {
+        self.base_period.saturating_mul(self.multiplier)
+    }
+
+    /// Current period multiplier.
+    pub fn multiplier(&self) -> u64 {
+        self.multiplier
+    }
+
+    /// Current timestamp counter value (in `T_min` units).
+    pub fn counter(&self) -> u64 {
+        self.counter
+    }
+
+    /// `true` after shutdown, until [`wake`](SamplerFsm::wake).
+    pub fn is_asleep(&self) -> bool {
+        self.asleep
+    }
+
+    /// Advances one sampling clock cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while asleep — a stopped clock has no ticks;
+    /// call [`wake`](SamplerFsm::wake) first.
+    pub fn on_tick(&mut self, request_pending: bool) -> FsmAction {
+        assert!(!self.asleep, "on_tick while the clock is stopped");
+        // The counter advances by the current increment on every cycle,
+        // so its value always equals elapsed/T_min at tick boundaries.
+        self.counter = self.counter.saturating_add(self.multiplier).min(self.counter_max);
+
+        if request_pending {
+            let timestamp_ticks = self.counter;
+            self.reset_measurement();
+            return FsmAction::Sampled { timestamp_ticks };
+        }
+
+        self.cnt_sample += 1;
+        if self.cnt_sample >= self.theta_div {
+            self.cnt_sample = 0;
+            match self.policy {
+                DivisionPolicy::Never => FsmAction::Ticked,
+                DivisionPolicy::Recursive | DivisionPolicy::Linear
+                    if self.cnt_div == self.n_div =>
+                {
+                    self.asleep = true;
+                    FsmAction::ShutDown
+                }
+                DivisionPolicy::DivideOnly if self.cnt_div == self.n_div => FsmAction::Ticked,
+                DivisionPolicy::Recursive | DivisionPolicy::DivideOnly => {
+                    self.cnt_div += 1;
+                    self.multiplier *= 2;
+                    FsmAction::Divided { multiplier: self.multiplier }
+                }
+                DivisionPolicy::Linear => {
+                    self.cnt_div += 1;
+                    self.multiplier += 1;
+                    FsmAction::Divided { multiplier: self.multiplier }
+                }
+            }
+        } else {
+            FsmAction::Ticked
+        }
+    }
+
+    /// Handles an AER request arriving while the clock is stopped: the
+    /// oscillator restarts and the (saturated) frozen counter becomes
+    /// the event's timestamp. Returns that timestamp in `T_min` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock is running (a running clock samples requests
+    /// through [`on_tick`](SamplerFsm::on_tick)).
+    pub fn wake(&mut self) -> u64 {
+        assert!(self.asleep, "wake() on a running clock");
+        let frozen = self.counter;
+        self.asleep = false;
+        self.reset_measurement();
+        frozen
+    }
+
+    fn reset_measurement(&mut self) {
+        self.counter = 0;
+        self.cnt_sample = 0;
+        self.cnt_div = 0;
+        self.multiplier = 1;
+    }
+
+    /// Applies a new configuration at runtime (the SPI path of §4.1:
+    /// "θ_div and N_div ... can be loaded from the outside via the SPI
+    /// configuration interface ... at run-time").
+    ///
+    /// Hardware semantics: the counters keep their values; the new
+    /// `θ_div`/`N_div`/policy take effect from the next cycle. If the
+    /// FSM has already divided more times than the new `N_div` allows,
+    /// the next quiet division boundary shuts the clock down (or
+    /// plateaus, per the policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` does not validate or changes the base
+    /// sampling period (the period is a synthesis-time property; only
+    /// the division parameters are runtime registers).
+    pub fn reconfigure(&mut self, config: &ClockGenConfig) {
+        config.validate().expect("reconfigure requires a valid configuration");
+        assert_eq!(
+            config.base_sampling_period(),
+            self.base_period,
+            "base sampling period is fixed at synthesis time"
+        );
+        self.theta_div = config.theta_div;
+        self.n_div = config.n_div;
+        self.policy = config.policy;
+        self.counter_max = config.counter_max();
+        // Clamp the in-flight division state into the new envelope so
+        // the next boundary decision is well-defined.
+        if self.cnt_div > self.n_div {
+            self.cnt_div = self.n_div;
+        }
+        if self.cnt_sample >= self.theta_div {
+            self.cnt_sample = self.theta_div - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segments::{QuantizeOutcome, SegmentTable};
+
+    fn cfg() -> ClockGenConfig {
+        ClockGenConfig::prototype().with_theta_div(8).with_n_div(3)
+    }
+
+    #[test]
+    fn divides_exactly_every_theta_ticks() {
+        let mut fsm = SamplerFsm::new(&cfg());
+        let mut division_ticks = Vec::new();
+        for tick in 1..=100 {
+            match fsm.on_tick(false) {
+                FsmAction::Divided { .. } => division_ticks.push(tick),
+                FsmAction::ShutDown => {
+                    division_ticks.push(tick);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        // θ=8: divide after ticks 8, 16, 24, shutdown after 32.
+        assert_eq!(division_ticks, vec![8, 16, 24, 32]);
+        assert!(fsm.is_asleep());
+    }
+
+    #[test]
+    fn counter_tracks_elapsed_time_exactly() {
+        let mut fsm = SamplerFsm::new(&cfg());
+        let mut elapsed_ticks = 0u64;
+        for _ in 0..30 {
+            let mult_before = fsm.multiplier();
+            fsm.on_tick(false);
+            elapsed_ticks += mult_before;
+            assert_eq!(fsm.counter(), elapsed_ticks);
+        }
+    }
+
+    #[test]
+    fn sample_resets_everything() {
+        let mut fsm = SamplerFsm::new(&cfg());
+        for _ in 0..20 {
+            fsm.on_tick(false);
+        }
+        assert!(fsm.multiplier() > 1);
+        let action = fsm.on_tick(true);
+        let FsmAction::Sampled { timestamp_ticks } = action else {
+            panic!("expected Sampled, got {action:?}");
+        };
+        assert!(timestamp_ticks > 20);
+        assert_eq!(fsm.multiplier(), 1);
+        assert_eq!(fsm.counter(), 0);
+    }
+
+    #[test]
+    fn wake_returns_saturated_counter() {
+        let mut fsm = SamplerFsm::new(&cfg());
+        while !fsm.is_asleep() {
+            fsm.on_tick(false);
+        }
+        // θ·(1+2+4+8) = 8·15 = 120.
+        let frozen = fsm.wake();
+        assert_eq!(frozen, 120);
+        assert!(!fsm.is_asleep());
+        assert_eq!(fsm.multiplier(), 1);
+    }
+
+    #[test]
+    fn counter_clamps_at_width() {
+        let config = ClockGenConfig {
+            counter_bits: 6, // max 63
+            ..cfg()
+        };
+        let mut fsm = SamplerFsm::new(&config);
+        for _ in 0..25 {
+            if fsm.is_asleep() {
+                break;
+            }
+            fsm.on_tick(false);
+        }
+        assert!(fsm.counter() <= 63);
+    }
+
+    #[test]
+    fn never_policy_never_divides_or_sleeps() {
+        let config = cfg().with_policy(DivisionPolicy::Never);
+        let mut fsm = SamplerFsm::new(&config);
+        for _ in 0..1_000 {
+            assert!(matches!(fsm.on_tick(false), FsmAction::Ticked));
+        }
+        assert_eq!(fsm.multiplier(), 1);
+        assert!(!fsm.is_asleep());
+    }
+
+    #[test]
+    fn divide_only_plateaus() {
+        let config = cfg().with_policy(DivisionPolicy::DivideOnly);
+        let mut fsm = SamplerFsm::new(&config);
+        for _ in 0..1_000 {
+            fsm.on_tick(false);
+            assert!(!fsm.is_asleep());
+        }
+        assert_eq!(fsm.multiplier(), 8);
+    }
+
+    #[test]
+    fn linear_policy_grows_arithmetically() {
+        let config = cfg().with_policy(DivisionPolicy::Linear);
+        let mut fsm = SamplerFsm::new(&config);
+        let mut mults = vec![fsm.multiplier()];
+        loop {
+            match fsm.on_tick(false) {
+                FsmAction::Divided { multiplier } => mults.push(multiplier),
+                FsmAction::ShutDown => break,
+                _ => {}
+            }
+        }
+        assert_eq!(mults, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reconfigure_applies_new_knobs_live() {
+        let mut fsm = SamplerFsm::new(&cfg()); // θ=8, N=3
+        for _ in 0..10 {
+            fsm.on_tick(false);
+        }
+        assert_eq!(fsm.multiplier(), 2, "one division after 8 ticks");
+        // Host raises θ to 16 and drops N to 1: the FSM is already at
+        // cnt_div=1 == new N, so the next boundary shuts down instead
+        // of dividing further.
+        fsm.reconfigure(&cfg().with_theta_div(16).with_n_div(1));
+        let mut shutdowns = 0;
+        let mut divisions = 0;
+        for _ in 0..40 {
+            if fsm.is_asleep() {
+                break;
+            }
+            match fsm.on_tick(false) {
+                FsmAction::Divided { .. } => divisions += 1,
+                FsmAction::ShutDown => shutdowns += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(divisions, 0, "no room left under the new N_div");
+        assert_eq!(shutdowns, 1);
+    }
+
+    #[test]
+    fn reconfigure_counter_keeps_running() {
+        let mut fsm = SamplerFsm::new(&cfg());
+        for _ in 0..5 {
+            fsm.on_tick(false);
+        }
+        let before = fsm.counter();
+        fsm.reconfigure(&cfg().with_theta_div(32));
+        fsm.on_tick(false);
+        assert_eq!(fsm.counter(), before + fsm.multiplier(), "counter continuity");
+    }
+
+    #[test]
+    #[should_panic(expected = "synthesis time")]
+    fn reconfigure_cannot_change_base_period() {
+        let mut fsm = SamplerFsm::new(&cfg());
+        let other_ring = ClockGenConfig {
+            prescaler_stages: 3,
+            ..cfg()
+        };
+        fsm.reconfigure(&other_ring);
+    }
+
+    #[test]
+    #[should_panic(expected = "stopped")]
+    fn tick_while_asleep_panics() {
+        let mut fsm = SamplerFsm::new(&cfg());
+        while !fsm.is_asleep() {
+            fsm.on_tick(false);
+        }
+        fsm.on_tick(false);
+    }
+
+    /// Ground-truth equivalence: stepping the FSM tick by tick and
+    /// sampling at tick `n` yields exactly the timestamp the segment
+    /// table predicts for the corresponding arrival interval.
+    #[test]
+    fn fsm_matches_segment_table() {
+        for policy in [
+            DivisionPolicy::Recursive,
+            DivisionPolicy::DivideOnly,
+            DivisionPolicy::Never,
+            DivisionPolicy::Linear,
+        ] {
+            let config = cfg().with_policy(policy);
+            let table = SegmentTable::new(&config);
+            let base = config.base_sampling_period();
+            // Arrival just after tick k-1, detected at tick k: for each
+            // k, run a fresh FSM for k-1 quiet ticks + 1 sampling tick.
+            for k in 1..200u64 {
+                let mut fsm = SamplerFsm::new(&config);
+                let mut quiet = 0u64;
+                let mut fsm_ts = None;
+                while fsm_ts.is_none() {
+                    if fsm.is_asleep() {
+                        fsm_ts = Some(fsm.wake());
+                        break;
+                    }
+                    if quiet + 1 == k {
+                        match fsm.on_tick(true) {
+                            FsmAction::Sampled { timestamp_ticks } => {
+                                fsm_ts = Some(timestamp_ticks)
+                            }
+                            other => panic!("expected Sampled, got {other:?}"),
+                        }
+                    } else {
+                        fsm.on_tick(false);
+                        quiet += 1;
+                    }
+                }
+                // The table's prediction for an arrival immediately
+                // after tick k-1 (delta = time of tick k-1 + epsilon).
+                let prev_offset = match k {
+                    1 => aetr_sim::time::SimDuration::ZERO,
+                    _ => tick_offset(&table, k - 1),
+                };
+                let delta = prev_offset + aetr_sim::time::SimDuration::from_ps(1);
+                let expected = match table.quantize(delta) {
+                    QuantizeOutcome::Sampled { ticks, .. } => ticks,
+                    QuantizeOutcome::Asleep { frozen_ticks, .. } => frozen_ticks,
+                };
+                assert_eq!(
+                    fsm_ts.unwrap(),
+                    expected,
+                    "policy {policy:?}, detection tick {k}, base {base}"
+                );
+            }
+        }
+    }
+
+    /// Offset of the `n`-th tick (1-based) according to the table.
+    fn tick_offset(table: &SegmentTable, n: u64) -> aetr_sim::time::SimDuration {
+        let mut remaining = n;
+        for seg in table.segments() {
+            if remaining <= seg.ticks {
+                return seg.start + table.base_period().saturating_mul(seg.multiplier * remaining);
+            }
+            remaining -= seg.ticks;
+        }
+        match table.tail() {
+            crate::segments::Tail::Infinite { multiplier } => {
+                let start = table.segments().last().map_or(
+                    aetr_sim::time::SimDuration::ZERO,
+                    |s| s.end,
+                );
+                start + table.base_period().saturating_mul(multiplier * remaining)
+            }
+            crate::segments::Tail::Shutdown => {
+                // No tick n exists; the FSM is asleep. Return the
+                // shutdown offset so the caller's +eps lands in Asleep.
+                table.shutdown_offset().unwrap()
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Pausible-clock synchronisation port (Yun & Donohue, ICCD'96) — the
+//! GALS technique the paper cites in §2 as the origin of its pausable
+//! clocking.
+//!
+//! Where the prototype's 2-FF synchroniser *tolerates* metastability
+//! (by giving it time to resolve, at the cost of latency and a
+//! non-zero failure probability), a pausible-clock port *excludes* it:
+//! a mutual-exclusion (mutex) element arbitrates between the incoming
+//! asynchronous request and the next clock edge, and if the request
+//! arrives inside the danger window the clock edge is *stretched*
+//! until the request is safely latched. Zero failure probability,
+//! occasional elongated clock periods.
+//!
+//! The model here exposes the quantities a designer compares:
+//! per-event synchronisation latency, clock-period elongation, and
+//! (for the flip-flop alternative) the mean time between failures
+//! implied by the metastability window.
+
+use serde::{Deserialize, Serialize};
+
+use aetr_sim::time::{SimDuration, SimTime};
+
+/// Timing parameters of the mutex-based port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PausiblePortConfig {
+    /// Nominal clock period being gated.
+    pub period: SimDuration,
+    /// Mutex arbitration delay when uncontended.
+    pub mutex_delay: SimDuration,
+    /// Maximum extra resolution time when request and clock edge race
+    /// (the mutex's own metastable resolution is bounded in practice;
+    /// we model the worst observed stretch).
+    pub max_stretch: SimDuration,
+    /// Danger window around the clock edge within which a request
+    /// contends with the edge.
+    pub danger_window: SimDuration,
+}
+
+impl PausiblePortConfig {
+    /// A port on the prototype's 30 MHz reference clock: 1 ns mutex,
+    /// 3 ns worst-case stretch, 500 ps danger window.
+    pub fn reference_30mhz() -> PausiblePortConfig {
+        PausiblePortConfig {
+            period: SimDuration::from_ps(33_333),
+            mutex_delay: SimDuration::from_ns(1),
+            max_stretch: SimDuration::from_ns(3),
+            danger_window: SimDuration::from_ps(500),
+        }
+    }
+}
+
+/// Outcome of synchronising one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyncOutcome {
+    /// When the request becomes visible to the synchronous side.
+    pub latched_at: SimTime,
+    /// The clock edge that latched it (possibly stretched).
+    pub capturing_edge: SimTime,
+    /// How much the clock period was stretched (zero if uncontended).
+    pub stretch: SimDuration,
+}
+
+/// The pausible-clock port.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_clockgen::pausible::{PausiblePort, PausiblePortConfig};
+/// use aetr_sim::time::SimTime;
+///
+/// let port = PausiblePort::new(PausiblePortConfig::reference_30mhz());
+/// // A request far from any clock edge: no stretch.
+/// let out = port.synchronize(SimTime::from_ns(10));
+/// assert!(out.stretch.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PausiblePort {
+    config: PausiblePortConfig,
+}
+
+impl PausiblePort {
+    /// Creates a port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero or the danger window exceeds half
+    /// the period (the mutex would contend on every edge).
+    pub fn new(config: PausiblePortConfig) -> PausiblePort {
+        assert!(!config.period.is_zero(), "period must be non-zero");
+        assert!(
+            config.danger_window < config.period / 2,
+            "danger window must be well inside the period"
+        );
+        PausiblePort { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PausiblePortConfig {
+        &self.config
+    }
+
+    /// Synchronises a request arriving at `request` into the clock
+    /// domain whose edges sit at multiples of the period (edge `k` at
+    /// `k · period`).
+    ///
+    /// Deterministic model: if the request falls within the danger
+    /// window *before* an edge, the mutex grants the request first and
+    /// stretches that edge by a resolution time proportional to how
+    /// deep in the window the collision was (worst when simultaneous).
+    pub fn synchronize(&self, request: SimTime) -> SyncOutcome {
+        let period = self.config.period.as_ps();
+        let req_ready = request + self.config.mutex_delay;
+        let t = req_ready.as_ps();
+        let next_edge_idx = t.div_ceil(period);
+        let next_edge = SimTime::from_ps(next_edge_idx * period);
+        let gap = next_edge - req_ready;
+
+        if gap < self.config.danger_window {
+            // Contended: the clock loses the mutex and the edge
+            // stretches. Depth of collision -> resolution time.
+            let depth = 1.0
+                - gap.as_ps() as f64 / self.config.danger_window.as_ps().max(1) as f64;
+            let stretch = SimDuration::from_ps(
+                (self.config.max_stretch.as_ps() as f64 * depth).round() as u64,
+            );
+            let capturing_edge = next_edge + stretch;
+            SyncOutcome { latched_at: capturing_edge, capturing_edge, stretch }
+        } else {
+            SyncOutcome { latched_at: next_edge, capturing_edge: next_edge, stretch: SimDuration::ZERO }
+        }
+    }
+
+    /// Worst-case synchronisation latency: a request just after an
+    /// edge waits a full period plus the mutex delay plus any stretch.
+    pub fn worst_case_latency(&self) -> SimDuration {
+        self.config.period + self.config.mutex_delay + self.config.max_stretch
+    }
+}
+
+/// Mean time between metastability failures of a `stages`-deep
+/// flip-flop synchroniser, for comparison: the standard
+/// `MTBF = e^(t_res / tau) / (T_w · f_clk · f_data)` model.
+///
+/// Returns seconds.
+///
+/// # Panics
+///
+/// Panics on non-positive rates or time constants.
+pub fn flipflop_mtbf_secs(
+    clock_hz: f64,
+    data_hz: f64,
+    resolution_time_secs: f64,
+    tau_secs: f64,
+    window_secs: f64,
+) -> f64 {
+    assert!(clock_hz > 0.0 && data_hz > 0.0, "rates must be positive");
+    assert!(tau_secs > 0.0 && window_secs > 0.0, "tau and window must be positive");
+    (resolution_time_secs / tau_secs).exp() / (window_secs * clock_hz * data_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn port() -> PausiblePort {
+        PausiblePort::new(PausiblePortConfig::reference_30mhz())
+    }
+
+    #[test]
+    fn uncontended_request_latches_on_next_edge() {
+        let p = port();
+        let out = p.synchronize(SimTime::from_ns(5));
+        assert!(out.stretch.is_zero());
+        // Next edge after 5 ns + 1 ns mutex is 33.333 ns.
+        assert_eq!(out.capturing_edge, SimTime::from_ps(33_333));
+        assert_eq!(out.latched_at, out.capturing_edge);
+    }
+
+    #[test]
+    fn request_in_the_danger_window_stretches_the_clock() {
+        let p = port();
+        // Arrive so that req_ready lands 100 ps before the edge.
+        let edge = SimTime::from_ps(33_333);
+        let request = edge - SimDuration::from_ps(100) - p.config().mutex_delay;
+        let out = p.synchronize(request);
+        assert!(!out.stretch.is_zero());
+        assert!(out.capturing_edge > edge);
+        // Depth 0.8 of the 500 ps window -> 80% of max stretch.
+        let expected = (3_000f64 * 0.8).round() as u64;
+        assert_eq!(out.stretch, SimDuration::from_ps(expected));
+    }
+
+    #[test]
+    fn simultaneous_arrival_pays_the_full_stretch() {
+        let p = port();
+        let edge = SimTime::from_ps(2 * 33_333);
+        let request = edge - p.config().mutex_delay;
+        let out = p.synchronize(request);
+        assert_eq!(out.stretch, p.config().max_stretch);
+    }
+
+    #[test]
+    fn latency_never_exceeds_the_worst_case() {
+        let p = port();
+        for offset_ps in (0..70_000).step_by(137) {
+            let request = SimTime::from_ps(offset_ps);
+            let out = p.synchronize(request);
+            let latency = out.latched_at - request;
+            assert!(
+                latency <= p.worst_case_latency(),
+                "latency {latency} at offset {offset_ps}"
+            );
+            assert!(out.latched_at >= request);
+        }
+    }
+
+    #[test]
+    fn stretch_is_bounded_and_monotone_in_collision_depth() {
+        let p = port();
+        let edge = SimTime::from_ps(33_333);
+        let mut last = SimDuration::MAX;
+        for gap_ps in [0u64, 100, 200, 300, 400, 499] {
+            let request = edge - SimDuration::from_ps(gap_ps) - p.config().mutex_delay;
+            let s = p.synchronize(request).stretch;
+            assert!(s <= p.config().max_stretch);
+            assert!(s <= last, "stretch must shrink as the gap grows");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn mtbf_comparison_favors_deeper_synchronizers() {
+        // One resolution period vs two at 30 MHz with 100 kevt/s data,
+        // tau = 100 ps, window = 100 ps: astronomic improvement.
+        let one = flipflop_mtbf_secs(30e6, 100e3, 33e-9, 100e-12, 100e-12);
+        let two = flipflop_mtbf_secs(30e6, 100e3, 66e-9, 100e-12, 100e-12);
+        assert!(two / one > 1e100, "doubling resolution time explodes MTBF");
+        // And the one-stage MTBF is already decades.
+        assert!(one > 3e8, "one-stage MTBF {one} s");
+    }
+
+    #[test]
+    #[should_panic(expected = "danger window")]
+    fn oversized_danger_window_panics() {
+        let cfg = PausiblePortConfig {
+            danger_window: SimDuration::from_ps(20_000),
+            ..PausiblePortConfig::reference_30mhz()
+        };
+        let _ = PausiblePort::new(cfg);
+    }
+}

@@ -1,0 +1,320 @@
+//! Pausable ring-oscillator model (paper Fig. 5).
+//!
+//! The prototype's clock source is a closed loop of an odd number of
+//! minimum-delay inverters, with the input inverter replaced by a NOR
+//! gate so the loop can be broken (`SLEEP`). Because stopping the clock
+//! freezes every register — including the one driving `SLEEP` — the
+//! sleep request is converted into a *pulse* by an inverter chain whose
+//! length must exceed a clock semi-period; restart is asynchronous
+//! (the AER `REQ` feeds the NOR) and costs roughly 100 ns.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use aetr_sim::time::{Frequency, SimDuration, SimTime};
+
+/// Static description of a ring oscillator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingOscillatorConfig {
+    /// Number of inverting stages in the loop; must be odd and ≥ 3.
+    pub stages: u32,
+    /// Propagation delay of one stage.
+    pub stage_delay: SimDuration,
+    /// Time from `REQ`-driven restart to the first output edge
+    /// (paper §5.2: "in the order of 100 ns").
+    pub wake_latency: SimDuration,
+    /// Number of inverters in the sleep-pulse shaping chain.
+    pub sleep_pulse_stages: u32,
+}
+
+impl RingOscillatorConfig {
+    /// The prototype configuration: 13 stages × 320 ps ≈ 120 MHz output,
+    /// 100 ns wake latency.
+    pub fn igloo_nano() -> RingOscillatorConfig {
+        RingOscillatorConfig {
+            stages: 13,
+            stage_delay: SimDuration::from_ps(320),
+            wake_latency: SimDuration::from_ns(100),
+            sleep_pulse_stages: 30,
+        }
+    }
+
+    /// Oscillation period: one full traversal of the loop twice
+    /// (`2 · stages · stage_delay`).
+    pub fn period(&self) -> SimDuration {
+        self.stage_delay * (2 * self.stages as u64)
+    }
+
+    /// Output frequency.
+    pub fn frequency(&self) -> Frequency {
+        self.period().to_frequency()
+    }
+
+    /// Width of the sleep pulse produced by the shaping chain.
+    pub fn sleep_pulse_width(&self) -> SimDuration {
+        self.stage_delay * self.sleep_pulse_stages as u64
+    }
+
+    /// Validates the electrical constraints of Fig. 5.
+    ///
+    /// # Errors
+    ///
+    /// * even or too-short inverter chains cannot oscillate;
+    /// * a zero stage delay is non-physical;
+    /// * the sleep pulse must outlast a clock semi-period, otherwise the
+    ///   oscillator may re-latch and deadlock (paper: "the pulse must be
+    ///   longer than a clock semiperiod").
+    pub fn validate(&self) -> Result<(), RingOscillatorError> {
+        if self.stages < 3 || self.stages.is_multiple_of(2) {
+            return Err(RingOscillatorError::InvalidStageCount { stages: self.stages });
+        }
+        if self.stage_delay.is_zero() {
+            return Err(RingOscillatorError::ZeroStageDelay);
+        }
+        let semi_period = self.period() / 2;
+        if self.sleep_pulse_width() <= semi_period {
+            return Err(RingOscillatorError::SleepPulseTooShort {
+                pulse: self.sleep_pulse_width(),
+                semi_period,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for RingOscillatorConfig {
+    fn default() -> Self {
+        Self::igloo_nano()
+    }
+}
+
+/// Configuration errors for the ring oscillator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingOscillatorError {
+    /// The inverter count cannot oscillate (even or < 3).
+    InvalidStageCount {
+        /// Offending stage count.
+        stages: u32,
+    },
+    /// A zero per-stage delay is non-physical.
+    ZeroStageDelay,
+    /// The sleep pulse would not survive a clock semi-period, risking a
+    /// restart deadlock.
+    SleepPulseTooShort {
+        /// Configured pulse width.
+        pulse: SimDuration,
+        /// Required minimum (exclusive).
+        semi_period: SimDuration,
+    },
+}
+
+impl fmt::Display for RingOscillatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingOscillatorError::InvalidStageCount { stages } => {
+                write!(f, "ring oscillator needs an odd stage count >= 3, got {stages}")
+            }
+            RingOscillatorError::ZeroStageDelay => write!(f, "stage delay must be non-zero"),
+            RingOscillatorError::SleepPulseTooShort { pulse, semi_period } => write!(
+                f,
+                "sleep pulse {pulse} must exceed the clock semi-period {semi_period}"
+            ),
+        }
+    }
+}
+
+impl Error for RingOscillatorError {}
+
+/// Run state of the oscillator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OscState {
+    /// Oscillating; edges continue from `since`.
+    Running {
+        /// When the current run started (first edge reference).
+        since: SimTime,
+    },
+    /// Loop broken by the sleep pulse; no edges until restarted.
+    Sleeping,
+}
+
+/// Dynamic model of the pausable ring oscillator.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_clockgen::ring::{RingOscillator, RingOscillatorConfig};
+/// use aetr_sim::time::SimTime;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ro = RingOscillator::new(RingOscillatorConfig::igloo_nano())?;
+/// let first_edge = ro.start(SimTime::ZERO);
+/// assert_eq!(first_edge, SimTime::from_ns(100)); // wake latency
+/// ro.stop(SimTime::from_us(5));
+/// assert!(!ro.is_running());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingOscillator {
+    config: RingOscillatorConfig,
+    state: OscState,
+    /// Cumulative time spent running (for power accounting).
+    running_time: SimDuration,
+    /// Number of start (wake) transitions.
+    wake_count: u64,
+    last_transition: SimTime,
+}
+
+impl RingOscillator {
+    /// Creates a stopped oscillator after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RingOscillatorError`] found by
+    /// [`RingOscillatorConfig::validate`].
+    pub fn new(config: RingOscillatorConfig) -> Result<RingOscillator, RingOscillatorError> {
+        config.validate()?;
+        Ok(RingOscillator {
+            config,
+            state: OscState::Sleeping,
+            running_time: SimDuration::ZERO,
+            wake_count: 0,
+            last_transition: SimTime::ZERO,
+        })
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &RingOscillatorConfig {
+        &self.config
+    }
+
+    /// `true` while the loop oscillates.
+    pub fn is_running(&self) -> bool {
+        matches!(self.state, OscState::Running { .. })
+    }
+
+    /// Starts (or restarts) the oscillator at `now`; returns the time
+    /// of the first usable output edge (`now + wake_latency`). Starting
+    /// a running oscillator is a no-op that returns the next edge
+    /// boundary.
+    pub fn start(&mut self, now: SimTime) -> SimTime {
+        match self.state {
+            OscState::Running { since } => {
+                // Already running: next edge on the period grid.
+                let period = self.config.period();
+                let elapsed = now.saturating_duration_since(since);
+                let k = elapsed / period + 1;
+                since + period * k
+            }
+            OscState::Sleeping => {
+                let first = now + self.config.wake_latency;
+                self.state = OscState::Running { since: first };
+                self.wake_count += 1;
+                self.last_transition = now;
+                first
+            }
+        }
+    }
+
+    /// Stops the oscillator at `now` (sleep-pulse assertion). Stopping
+    /// a stopped oscillator is a no-op.
+    pub fn stop(&mut self, now: SimTime) {
+        if let OscState::Running { .. } = self.state {
+            self.running_time += now.saturating_duration_since(self.last_transition);
+            self.state = OscState::Sleeping;
+            self.last_transition = now;
+        }
+    }
+
+    /// Total time spent running up to the last transition (add the
+    /// current run manually if still running).
+    pub fn running_time(&self) -> SimDuration {
+        self.running_time
+    }
+
+    /// Number of sleep→run transitions so far.
+    pub fn wake_count(&self) -> u64 {
+        self.wake_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn igloo_nano_hits_120mhz() {
+        let cfg = RingOscillatorConfig::igloo_nano();
+        cfg.validate().unwrap();
+        // 2 * 13 * 320 ps = 8320 ps -> 120.19 MHz
+        assert_eq!(cfg.period(), SimDuration::from_ps(8_320));
+        let f = cfg.frequency().as_hz_f64();
+        assert!((f - 120e6).abs() / 120e6 < 0.01, "frequency {f}");
+    }
+
+    #[test]
+    fn validation_rejects_even_stages() {
+        let cfg = RingOscillatorConfig { stages: 12, ..RingOscillatorConfig::igloo_nano() };
+        assert_eq!(cfg.validate(), Err(RingOscillatorError::InvalidStageCount { stages: 12 }));
+    }
+
+    #[test]
+    fn validation_rejects_short_sleep_pulse() {
+        let cfg =
+            RingOscillatorConfig { sleep_pulse_stages: 2, ..RingOscillatorConfig::igloo_nano() };
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, RingOscillatorError::SleepPulseTooShort { .. }));
+        assert!(err.to_string().contains("semi-period"));
+    }
+
+    #[test]
+    fn validation_rejects_zero_delay() {
+        let cfg = RingOscillatorConfig {
+            stage_delay: SimDuration::ZERO,
+            ..RingOscillatorConfig::igloo_nano()
+        };
+        assert_eq!(cfg.validate(), Err(RingOscillatorError::ZeroStageDelay));
+    }
+
+    #[test]
+    fn start_applies_wake_latency() {
+        let mut ro = RingOscillator::new(RingOscillatorConfig::igloo_nano()).unwrap();
+        assert!(!ro.is_running());
+        let first = ro.start(SimTime::from_us(1));
+        assert_eq!(first, SimTime::from_us(1) + SimDuration::from_ns(100));
+        assert!(ro.is_running());
+        assert_eq!(ro.wake_count(), 1);
+    }
+
+    #[test]
+    fn start_when_running_returns_grid_edge() {
+        let mut ro = RingOscillator::new(RingOscillatorConfig::igloo_nano()).unwrap();
+        let first = ro.start(SimTime::ZERO);
+        let next = ro.start(first + SimDuration::from_ps(100));
+        assert_eq!(next, first + ro.config().period());
+        assert_eq!(ro.wake_count(), 1, "no spurious wake counted");
+    }
+
+    #[test]
+    fn stop_accumulates_running_time() {
+        let mut ro = RingOscillator::new(RingOscillatorConfig::igloo_nano()).unwrap();
+        ro.start(SimTime::ZERO);
+        ro.stop(SimTime::from_us(10));
+        ro.start(SimTime::from_us(20));
+        ro.stop(SimTime::from_us(25));
+        assert_eq!(ro.running_time(), SimDuration::from_us(15));
+        assert_eq!(ro.wake_count(), 2);
+    }
+
+    #[test]
+    fn wake_latency_is_about_one_max_freq_period() {
+        // Paper: recovery "is in the order of 100 ns; comparable with a
+        // single clock period at the max freq" — here the max sampling
+        // period is 30 MHz/2 = 66.7 ns, same order as 100 ns.
+        let cfg = RingOscillatorConfig::igloo_nano();
+        let sampling_period = cfg.period() * 8; // /4 prescale, /2 sampling
+        assert!(cfg.wake_latency < sampling_period * 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Ring-oscillator trimming and PVT drift.
+//!
+//! A fabric ring oscillator's frequency moves with process, voltage
+//! and temperature; the paper's design allows frequency selection "by
+//! removing/inserting a pair of inverters" (§4.1). This module models
+//! both: a PVT operating point that scales the stage delay, and the
+//! trim search that picks the stage count bringing the output closest
+//! to a target frequency at that operating point — the calibration a
+//! real deployment would run against a crystal reference at boot.
+
+use serde::{Deserialize, Serialize};
+
+use aetr_sim::time::Frequency;
+
+use crate::ring::RingOscillatorConfig;
+
+/// A process/voltage/temperature operating point, expressed as delay
+/// multipliers relative to the characterised typical corner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PvtPoint {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Junction temperature in °C.
+    pub temp_c: f64,
+}
+
+impl PvtPoint {
+    /// The characterised typical corner (1.2 V, 25 °C).
+    pub fn typical() -> PvtPoint {
+        PvtPoint { vdd: 1.2, temp_c: 25.0 }
+    }
+
+    /// Stage-delay multiplier at this operating point, from a simple
+    /// first-order model: delay rises as VDD drops (~1.5 %/10 mV near
+    /// nominal is far too strong for flash FPGAs; we use a gentle
+    /// alpha-power-law fit) and as temperature rises (~0.1 %/°C).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-physical operating points (VDD outside
+    /// 0.8–1.6 V, temperature outside −55–150 °C).
+    pub fn delay_factor(&self) -> f64 {
+        assert!(
+            (0.8..=1.6).contains(&self.vdd),
+            "VDD {} V outside the supported 0.8-1.6 V",
+            self.vdd
+        );
+        assert!(
+            (-55.0..=150.0).contains(&self.temp_c),
+            "temperature {} C outside the supported -55..150 C",
+            self.temp_c
+        );
+        let typ = PvtPoint::typical();
+        // Alpha-power-law-ish voltage term, linear temperature term.
+        let v_term = (typ.vdd / self.vdd).powf(1.3);
+        let t_term = 1.0 + 0.001 * (self.temp_c - typ.temp_c);
+        v_term * t_term
+    }
+
+    /// The effective ring configuration at this operating point: same
+    /// stages, scaled stage delay.
+    pub fn apply(&self, nominal: &RingOscillatorConfig) -> RingOscillatorConfig {
+        let factor = self.delay_factor();
+        let ps = (nominal.stage_delay.as_ps() as f64 * factor).round().max(1.0) as u64;
+        RingOscillatorConfig {
+            stage_delay: aetr_sim::time::SimDuration::from_ps(ps),
+            ..*nominal
+        }
+    }
+}
+
+impl Default for PvtPoint {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+/// Result of a trim search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrimResult {
+    /// The chosen (odd) stage count.
+    pub stages: u32,
+    /// The achieved output frequency at the operating point.
+    pub achieved: Frequency,
+    /// Relative frequency error vs the target.
+    pub error: f64,
+}
+
+/// Finds the odd stage count in `[min_stages, max_stages]` whose
+/// oscillation frequency at the given PVT point lands closest to
+/// `target`. This mirrors the inverter-pair insertion/removal trim of
+/// the prototype.
+///
+/// # Panics
+///
+/// Panics if the stage range is empty or contains no odd counts ≥ 3.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_clockgen::ring::RingOscillatorConfig;
+/// use aetr_clockgen::trim::{trim_to_target, PvtPoint};
+/// use aetr_sim::time::Frequency;
+///
+/// let result = trim_to_target(
+///     &RingOscillatorConfig::igloo_nano(),
+///     Frequency::from_mhz(120),
+///     PvtPoint::typical(),
+///     3,
+///     41,
+/// );
+/// assert!(result.error < 0.1);
+/// ```
+pub fn trim_to_target(
+    nominal: &RingOscillatorConfig,
+    target: Frequency,
+    pvt: PvtPoint,
+    min_stages: u32,
+    max_stages: u32,
+) -> TrimResult {
+    assert!(min_stages <= max_stages, "empty stage range");
+    let effective = pvt.apply(nominal);
+    let mut best: Option<TrimResult> = None;
+    let mut stages = if min_stages % 2 == 1 { min_stages } else { min_stages + 1 };
+    stages = stages.max(3);
+    while stages <= max_stages {
+        let candidate = RingOscillatorConfig { stages, ..effective };
+        let achieved = candidate.period().to_frequency();
+        let error = (achieved.as_hz_f64() - target.as_hz_f64()).abs() / target.as_hz_f64();
+        if best.is_none_or(|b| error < b.error) {
+            best = Some(TrimResult { stages, achieved, error });
+        }
+        stages += 2; // inverter pairs only: parity is preserved
+    }
+    best.expect("stage range contains at least one odd count >= 3")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aetr_sim::time::SimDuration;
+
+    #[test]
+    fn typical_corner_is_identity() {
+        let f = PvtPoint::typical().delay_factor();
+        assert!((f - 1.0).abs() < 1e-12);
+        let nominal = RingOscillatorConfig::igloo_nano();
+        assert_eq!(PvtPoint::typical().apply(&nominal), nominal);
+    }
+
+    #[test]
+    fn lower_voltage_slows_the_ring() {
+        let slow = PvtPoint { vdd: 1.0, temp_c: 25.0 }.delay_factor();
+        let fast = PvtPoint { vdd: 1.4, temp_c: 25.0 }.delay_factor();
+        assert!(slow > 1.0);
+        assert!(fast < 1.0);
+    }
+
+    #[test]
+    fn heat_slows_the_ring() {
+        let hot = PvtPoint { vdd: 1.2, temp_c: 85.0 }.delay_factor();
+        let cold = PvtPoint { vdd: 1.2, temp_c: -20.0 }.delay_factor();
+        assert!(hot > 1.0);
+        assert!(cold < 1.0);
+        // ~0.1%/°C: 60 °C above typical ≈ +6 %.
+        assert!((hot - 1.06).abs() < 0.01);
+    }
+
+    #[test]
+    fn trim_recovers_target_after_drift() {
+        // At a hot, low-voltage corner the untrimmed ring runs slow;
+        // trimming (removing inverter pairs) brings it back.
+        let nominal = RingOscillatorConfig::igloo_nano();
+        let corner = PvtPoint { vdd: 1.08, temp_c: 85.0 };
+        let drifted = corner.apply(&nominal).period().to_frequency();
+        let target = Frequency::from_mhz(120);
+        let drift_err =
+            (drifted.as_hz_f64() - target.as_hz_f64()).abs() / target.as_hz_f64();
+        let trimmed = trim_to_target(&nominal, target, corner, 3, 41);
+        assert!(trimmed.error < drift_err, "trim {:.4} vs drift {:.4}", trimmed.error, drift_err);
+        assert!(trimmed.stages < nominal.stages, "hot+slow corner needs fewer stages");
+        assert!(trimmed.stages % 2 == 1);
+    }
+
+    #[test]
+    fn trim_is_exact_when_target_is_reachable() {
+        // Target exactly the 13-stage frequency at typical corner.
+        let nominal = RingOscillatorConfig::igloo_nano();
+        let target = nominal.period().to_frequency();
+        let r = trim_to_target(&nominal, target, PvtPoint::typical(), 3, 41);
+        assert_eq!(r.stages, 13);
+        assert!(r.error < 1e-6);
+    }
+
+    #[test]
+    fn trim_only_returns_odd_stage_counts() {
+        let nominal = RingOscillatorConfig::igloo_nano();
+        for target_mhz in [60u64, 90, 150, 250] {
+            let r = trim_to_target(
+                &nominal,
+                Frequency::from_mhz(target_mhz),
+                PvtPoint::typical(),
+                3,
+                61,
+            );
+            assert_eq!(r.stages % 2, 1, "target {target_mhz} MHz chose {}", r.stages);
+            let check = RingOscillatorConfig { stages: r.stages, ..nominal };
+            assert!(check.validate().is_ok() || check.sleep_pulse_width() <= check.period() / 2);
+        }
+    }
+
+    #[test]
+    fn pvt_apply_preserves_other_fields() {
+        let nominal = RingOscillatorConfig::igloo_nano();
+        let shifted = PvtPoint { vdd: 1.0, temp_c: 70.0 }.apply(&nominal);
+        assert_eq!(shifted.stages, nominal.stages);
+        assert_eq!(shifted.wake_latency, nominal.wake_latency);
+        assert!(shifted.stage_delay > nominal.stage_delay);
+        assert!(shifted.stage_delay < SimDuration::from_ps(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "VDD")]
+    fn non_physical_vdd_panics() {
+        let _ = PvtPoint { vdd: 0.5, temp_c: 25.0 }.delay_factor();
+    }
+}

@@ -1,0 +1,235 @@
+//! Audio synthesis and buffers.
+//!
+//! The DAS1 cochlea in the paper listens to real speech; our
+//! substitution synthesises audio with controlled spectral content —
+//! pure tones, white noise, and formant-based "words" — so the Fig. 7
+//! experiment can run on a reproducible stimulus.
+
+use std::f64::consts::PI;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use aetr_sim::time::SimDuration;
+
+/// A mono audio buffer with samples in `[-1, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_cochlea::audio::AudioBuffer;
+///
+/// let tone = AudioBuffer::tone(16_000, 440.0, 0.5, 0.1);
+/// assert_eq!(tone.len(), 1_600);
+/// assert!(tone.peak() <= 0.5 + 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AudioBuffer {
+    sample_rate: u32,
+    samples: Vec<f64>,
+}
+
+impl AudioBuffer {
+    /// Creates a buffer from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is zero.
+    pub fn new(sample_rate: u32, samples: Vec<f64>) -> AudioBuffer {
+        assert!(sample_rate > 0, "sample rate must be non-zero");
+        AudioBuffer { sample_rate, samples }
+    }
+
+    /// A buffer of silence lasting `secs` seconds.
+    pub fn silence(sample_rate: u32, secs: f64) -> AudioBuffer {
+        let n = (secs * sample_rate as f64).round() as usize;
+        AudioBuffer::new(sample_rate, vec![0.0; n])
+    }
+
+    /// A pure sine tone of `freq_hz` at `amplitude` lasting `secs`.
+    pub fn tone(sample_rate: u32, freq_hz: f64, amplitude: f64, secs: f64) -> AudioBuffer {
+        let n = (secs * sample_rate as f64).round() as usize;
+        let samples = (0..n)
+            .map(|i| amplitude * (2.0 * PI * freq_hz * i as f64 / sample_rate as f64).sin())
+            .collect();
+        AudioBuffer::new(sample_rate, samples)
+    }
+
+    /// Seeded white noise at `amplitude` lasting `secs`.
+    pub fn white_noise(sample_rate: u32, amplitude: f64, secs: f64, seed: u64) -> AudioBuffer {
+        let n = (secs * sample_rate as f64).round() as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = (0..n).map(|_| amplitude * (2.0 * rng.gen::<f64>() - 1.0)).collect();
+        AudioBuffer::new(sample_rate, samples)
+    }
+
+    /// Samples per second.
+    pub fn sample_rate(&self) -> u32 {
+        self.sample_rate
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if the buffer holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Buffer duration.
+    pub fn duration(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.samples.len() as f64 / self.sample_rate as f64)
+    }
+
+    /// Largest absolute sample value.
+    pub fn peak(&self) -> f64 {
+        self.samples.iter().fold(0.0f64, |m, &s| m.max(s.abs()))
+    }
+
+    /// Root-mean-square level.
+    pub fn rms(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        (self.samples.iter().map(|s| s * s).sum::<f64>() / self.samples.len() as f64).sqrt()
+    }
+
+    /// Mixes another buffer into this one, sample by sample, extending
+    /// if the other is longer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched sample rates.
+    pub fn mix(&mut self, other: &AudioBuffer) {
+        assert_eq!(self.sample_rate, other.sample_rate, "sample-rate mismatch in mix");
+        if other.samples.len() > self.samples.len() {
+            self.samples.resize(other.samples.len(), 0.0);
+        }
+        for (dst, &src) in self.samples.iter_mut().zip(&other.samples) {
+            *dst += src;
+        }
+    }
+
+    /// Appends another buffer after this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched sample rates.
+    pub fn append(&mut self, other: &AudioBuffer) {
+        assert_eq!(self.sample_rate, other.sample_rate, "sample-rate mismatch in append");
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Applies a linear fade-in/fade-out envelope of `fade_secs` at both
+    /// ends (clamped to half the buffer).
+    pub fn faded(mut self, fade_secs: f64) -> AudioBuffer {
+        let n = self.samples.len();
+        let fade = ((fade_secs * self.sample_rate as f64) as usize).min(n / 2);
+        for i in 0..fade {
+            let g = i as f64 / fade as f64;
+            self.samples[i] *= g;
+            self.samples[n - 1 - i] *= g;
+        }
+        self
+    }
+
+    /// Rescales so the peak hits `target` (no-op on silence).
+    pub fn normalized(mut self, target: f64) -> AudioBuffer {
+        let peak = self.peak();
+        if peak > 0.0 {
+            let g = target / peak;
+            for s in &mut self.samples {
+                *s *= g;
+            }
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tone_has_expected_frequency_content() {
+        let sr = 16_000;
+        let tone = AudioBuffer::tone(sr, 1_000.0, 1.0, 0.1);
+        // Count zero crossings: ~2 per cycle -> 2 * 1000 * 0.1 = 200.
+        let crossings = tone
+            .samples()
+            .windows(2)
+            .filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0))
+            .count();
+        assert!((195..=205).contains(&crossings), "crossings {crossings}");
+    }
+
+    #[test]
+    fn rms_of_sine_is_amplitude_over_sqrt2() {
+        let tone = AudioBuffer::tone(16_000, 500.0, 0.8, 1.0);
+        assert!((tone.rms() - 0.8 / 2f64.sqrt()).abs() < 0.01);
+    }
+
+    #[test]
+    fn noise_is_reproducible_and_bounded() {
+        let a = AudioBuffer::white_noise(16_000, 0.5, 0.05, 7);
+        let b = AudioBuffer::white_noise(16_000, 0.5, 0.05, 7);
+        assert_eq!(a, b);
+        assert!(a.peak() <= 0.5);
+        assert!(a.rms() > 0.1, "white noise rms {}", a.rms());
+    }
+
+    #[test]
+    fn mix_extends_and_adds() {
+        let mut a = AudioBuffer::tone(8_000, 100.0, 0.3, 0.01);
+        let b = AudioBuffer::tone(8_000, 100.0, 0.3, 0.02);
+        a.mix(&b);
+        assert_eq!(a.len(), 160);
+        // Where both overlap the amplitude doubles.
+        assert!(a.peak() > 0.55);
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut a = AudioBuffer::silence(8_000, 0.01);
+        a.append(&AudioBuffer::tone(8_000, 100.0, 1.0, 0.01));
+        assert_eq!(a.len(), 160);
+        assert_eq!(a.samples()[0], 0.0);
+    }
+
+    #[test]
+    fn fade_zeroes_the_ends() {
+        let tone = AudioBuffer::tone(16_000, 50.0, 1.0, 0.1).faded(0.01);
+        assert_eq!(tone.samples()[0], 0.0);
+        assert_eq!(*tone.samples().last().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn normalize_hits_target_peak() {
+        let tone = AudioBuffer::tone(16_000, 100.0, 0.1, 0.05).normalized(0.9);
+        assert!((tone.peak() - 0.9).abs() < 1e-6);
+        // Silence stays silent.
+        let s = AudioBuffer::silence(16_000, 0.01).normalized(0.9);
+        assert_eq!(s.peak(), 0.0);
+    }
+
+    #[test]
+    fn duration_matches_length() {
+        let b = AudioBuffer::silence(16_000, 0.25);
+        assert_eq!(b.duration(), SimDuration::from_ms(250));
+    }
+
+    #[test]
+    #[should_panic(expected = "sample-rate mismatch")]
+    fn mix_rejects_rate_mismatch() {
+        let mut a = AudioBuffer::silence(8_000, 0.01);
+        a.mix(&AudioBuffer::silence(16_000, 0.01));
+    }
+}

@@ -1,0 +1,170 @@
+//! Formant-based synthesis of "spoken word" stimuli.
+//!
+//! Fig. 7a shows the cochlea's response to one word extracted from a
+//! real conversation (~800 ms). We substitute a reproducible formant
+//! synthesizer: a word is a sequence of voiced segments (vowel-like,
+//! two formants on a pitch harmonic comb) and noise bursts
+//! (fricative/plosive-like), separated by short closures — enough to
+//! reproduce the bursty, tonotopically structured spike pattern that
+//! the error-distribution experiment (Fig. 7b) needs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::audio::AudioBuffer;
+
+/// One phoneme-like segment of a synthetic word.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WordSegment {
+    /// A voiced, vowel-like segment with two formant frequencies.
+    Voiced {
+        /// First formant (Hz).
+        f1: f64,
+        /// Second formant (Hz).
+        f2: f64,
+        /// Duration in seconds.
+        secs: f64,
+    },
+    /// An unvoiced noise burst (fricative-like).
+    Noise {
+        /// Duration in seconds.
+        secs: f64,
+        /// Amplitude relative to voiced segments.
+        level: f64,
+    },
+    /// Silence (closure / word boundary).
+    Silence {
+        /// Duration in seconds.
+        secs: f64,
+    },
+}
+
+/// Synthesises one segment.
+fn render_segment(sample_rate: u32, pitch_hz: f64, seg: &WordSegment, seed: u64) -> AudioBuffer {
+    match *seg {
+        WordSegment::Voiced { f1, f2, secs } => {
+            // A small harmonic comb near each formant approximates a
+            // formant resonance excited by the glottal pulse train.
+            let mut out = AudioBuffer::silence(sample_rate, secs);
+            for &formant in &[f1, f2] {
+                let k = (formant / pitch_hz).round().max(1.0);
+                for dk in [-1.0, 0.0, 1.0] {
+                    let f = (k + dk) * pitch_hz;
+                    if f > 0.0 && f < sample_rate as f64 / 2.0 {
+                        let a = if dk == 0.0 { 0.30 } else { 0.12 };
+                        out.mix(&AudioBuffer::tone(sample_rate, f, a, secs));
+                    }
+                }
+            }
+            out.faded(0.01)
+        }
+        WordSegment::Noise { secs, level } => {
+            AudioBuffer::white_noise(sample_rate, level, secs, seed).faded(0.005)
+        }
+        WordSegment::Silence { secs } => AudioBuffer::silence(sample_rate, secs),
+    }
+}
+
+/// Synthesises a word from segments at the given pitch.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_cochlea::word::{synthesize_word, WordSegment};
+///
+/// let word = synthesize_word(16_000, 120.0, &[
+///     WordSegment::Noise { secs: 0.05, level: 0.3 },
+///     WordSegment::Voiced { f1: 700.0, f2: 1_200.0, secs: 0.2 },
+/// ], 1);
+/// assert_eq!(word.len(), 4_000);
+/// ```
+pub fn synthesize_word(
+    sample_rate: u32,
+    pitch_hz: f64,
+    segments: &[WordSegment],
+    seed: u64,
+) -> AudioBuffer {
+    let mut out = AudioBuffer::silence(sample_rate, 0.0);
+    for (i, seg) in segments.iter().enumerate() {
+        out.append(&render_segment(sample_rate, pitch_hz, seg, seed.wrapping_add(i as u64)));
+    }
+    out.normalized(0.8)
+}
+
+/// The reference Fig. 7a stimulus: a two-syllable word ("sensor"-like,
+/// /s-e-n-s-o/) padded with leading/trailing silence, ~800 ms total.
+pub fn fig7_word(sample_rate: u32, seed: u64) -> AudioBuffer {
+    synthesize_word(
+        sample_rate,
+        120.0,
+        &[
+            WordSegment::Silence { secs: 0.10 },
+            WordSegment::Noise { secs: 0.07, level: 0.35 }, // /s/
+            WordSegment::Voiced { f1: 530.0, f2: 1_840.0, secs: 0.14 }, // /e/
+            WordSegment::Voiced { f1: 400.0, f2: 1_600.0, secs: 0.09 }, // /n/
+            WordSegment::Silence { secs: 0.03 },
+            WordSegment::Noise { secs: 0.06, level: 0.3 }, // /s/
+            WordSegment::Voiced { f1: 570.0, f2: 840.0, secs: 0.17 }, // /o/
+            WordSegment::Silence { secs: 0.14 },
+        ],
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aetr_sim::time::SimDuration;
+
+    #[test]
+    fn fig7_word_is_about_800ms() {
+        let word = fig7_word(16_000, 1);
+        let ms = word.duration().as_us() / 1_000;
+        assert!((750..=850).contains(&ms), "word duration {ms} ms");
+    }
+
+    #[test]
+    fn word_is_reproducible() {
+        assert_eq!(fig7_word(16_000, 9), fig7_word(16_000, 9));
+        assert_ne!(fig7_word(16_000, 9), fig7_word(16_000, 10));
+    }
+
+    #[test]
+    fn word_has_quiet_and_loud_parts() {
+        let word = fig7_word(16_000, 1);
+        let sr = word.sample_rate() as usize;
+        // First 80 ms are silence, the /e/ around 250 ms is loud.
+        let head = &word.samples()[..sr * 8 / 100];
+        let vowel = &word.samples()[sr * 22 / 100..sr * 28 / 100];
+        let head_rms =
+            (head.iter().map(|s| s * s).sum::<f64>() / head.len() as f64).sqrt();
+        let vowel_rms =
+            (vowel.iter().map(|s| s * s).sum::<f64>() / vowel.len() as f64).sqrt();
+        assert!(head_rms < 1e-9, "leading silence rms {head_rms}");
+        assert!(vowel_rms > 0.05, "vowel rms {vowel_rms}");
+    }
+
+    #[test]
+    fn voiced_segment_energy_sits_near_formants() {
+        let seg = synthesize_word(
+            16_000,
+            120.0,
+            &[WordSegment::Voiced { f1: 600.0, f2: 600.0, secs: 0.2 }],
+            0,
+        );
+        // Count zero crossings: dominated by ~600 Hz content.
+        let crossings = seg
+            .samples()
+            .windows(2)
+            .filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0))
+            .count();
+        let implied_hz = crossings as f64 / 2.0 / 0.2;
+        assert!((400.0..900.0).contains(&implied_hz), "implied {implied_hz} Hz");
+    }
+
+    #[test]
+    fn empty_segment_list_gives_empty_audio() {
+        let w = synthesize_word(16_000, 120.0, &[], 0);
+        assert!(w.is_empty());
+        assert_eq!(w.duration(), SimDuration::ZERO);
+    }
+}

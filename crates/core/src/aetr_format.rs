@@ -1,0 +1,244 @@
+//! The Address-Event-Time Representation (AETR) word format.
+//!
+//! AETR enriches each AER event with an explicit timestamp — the time
+//! delta from the previous event, measured in `T_min` ticks — making
+//! the stream latency-insensitive: it "can be stored for an indefinite
+//! amount of time before being processed or carried over any other
+//! digital data transfer protocol" (paper §3).
+//!
+//! The wire format is one 32-bit word per event:
+//!
+//! ```text
+//!  31        22 21                      0
+//! +------------+-------------------------+
+//! | address:10 |      timestamp:22       |
+//! +------------+-------------------------+
+//! ```
+//!
+//! A timestamp of all-ones is the *saturated* marker: the inter-event
+//! interval exceeded the measurable range (the clock had shut down).
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use aetr_aer::address::Address;
+use aetr_sim::time::SimDuration;
+
+/// Bits reserved for the timestamp field.
+pub const TIMESTAMP_BITS: u32 = 22;
+
+/// Largest representable timestamp; also the saturated marker.
+pub const TIMESTAMP_MAX: u32 = (1 << TIMESTAMP_BITS) - 1;
+
+/// The timestamp field: an inter-event delta in `T_min` ticks.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Timestamp(u32);
+
+impl Timestamp {
+    /// The saturated timestamp (interval exceeded measurable range).
+    pub const SATURATED: Timestamp = Timestamp(TIMESTAMP_MAX);
+
+    /// Creates a timestamp from a tick count, clamping into the field
+    /// (values at or above the field maximum become
+    /// [`SATURATED`](Self::SATURATED)).
+    pub fn from_ticks(ticks: u64) -> Timestamp {
+        Timestamp(ticks.min(TIMESTAMP_MAX as u64) as u32)
+    }
+
+    /// The tick count.
+    pub const fn ticks(self) -> u32 {
+        self.0
+    }
+
+    /// `true` for the saturated marker.
+    pub const fn is_saturated(self) -> bool {
+        self.0 == TIMESTAMP_MAX
+    }
+
+    /// The time interval this timestamp encodes, given the base
+    /// sampling period.
+    pub fn to_interval(self, base_period: SimDuration) -> SimDuration {
+        base_period.saturating_mul(self.0 as u64)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_saturated() {
+            write!(f, "ts=SAT")
+        } else {
+            write!(f, "ts={}", self.0)
+        }
+    }
+}
+
+/// One AETR event: an address plus its inter-event timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AetrEvent {
+    /// The AER address.
+    pub addr: Address,
+    /// Delta from the previous event in `T_min` ticks.
+    pub timestamp: Timestamp,
+}
+
+impl AetrEvent {
+    /// Creates an event.
+    pub fn new(addr: Address, timestamp: Timestamp) -> AetrEvent {
+        AetrEvent { addr, timestamp }
+    }
+
+    /// Packs into the 32-bit wire word.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aetr::aetr_format::{AetrEvent, Timestamp};
+    /// use aetr_aer::address::Address;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let ev = AetrEvent::new(Address::new(0x2A)?, Timestamp::from_ticks(100));
+    /// let word = ev.to_word();
+    /// assert_eq!(AetrEvent::from_word(word), ev);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_word(self) -> u32 {
+        (u32::from(self.addr.value()) << TIMESTAMP_BITS) | self.timestamp.0
+    }
+
+    /// Unpacks from the 32-bit wire word. Total: every `u32` is a
+    /// valid word because the fields exactly tile the 32 bits.
+    pub fn from_word(word: u32) -> AetrEvent {
+        let addr = Address::new((word >> TIMESTAMP_BITS) as u16)
+            .expect("10-bit field cannot exceed the address range");
+        AetrEvent { addr, timestamp: Timestamp(word & TIMESTAMP_MAX) }
+    }
+
+    /// Serialises into little-endian bytes (I2S payload order).
+    pub fn to_le_bytes(self) -> [u8; 4] {
+        self.to_word().to_le_bytes()
+    }
+
+    /// Deserialises from little-endian bytes.
+    pub fn from_le_bytes(bytes: [u8; 4]) -> AetrEvent {
+        AetrEvent::from_word(u32::from_le_bytes(bytes))
+    }
+}
+
+impl fmt::Display for AetrEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.addr, self.timestamp)
+    }
+}
+
+/// Error decoding an AETR byte stream whose length is not a multiple
+/// of the 4-byte word size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeLengthError {
+    /// The offending byte length.
+    pub len: usize,
+}
+
+impl fmt::Display for DecodeLengthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AETR stream length {} is not a multiple of 4 bytes", self.len)
+    }
+}
+
+impl Error for DecodeLengthError {}
+
+/// Decodes a contiguous little-endian AETR byte stream.
+///
+/// # Errors
+///
+/// Returns [`DecodeLengthError`] if `bytes` is not word-aligned.
+pub fn decode_stream(bytes: &[u8]) -> Result<Vec<AetrEvent>, DecodeLengthError> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(DecodeLengthError { len: bytes.len() });
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| AetrEvent::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Encodes events into a contiguous little-endian byte stream.
+pub fn encode_stream(events: &[AetrEvent]) -> Vec<u8> {
+    events.iter().flat_map(|e| e.to_le_bytes()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_layout_matches_spec() {
+        let ev = AetrEvent::new(Address::new(0b11_1111_1111).unwrap(), Timestamp::from_ticks(0));
+        assert_eq!(ev.to_word(), 0xFFC0_0000);
+        let ev2 = AetrEvent::new(Address::new(0).unwrap(), Timestamp::SATURATED);
+        assert_eq!(ev2.to_word(), 0x003F_FFFF);
+    }
+
+    #[test]
+    fn roundtrip_all_field_extremes() {
+        for addr in [0u16, 1, 512, 1023] {
+            for ticks in [0u64, 1, 1 << 21, (1 << 22) - 1] {
+                let ev =
+                    AetrEvent::new(Address::new(addr).unwrap(), Timestamp::from_ticks(ticks));
+                assert_eq!(AetrEvent::from_word(ev.to_word()), ev);
+                assert_eq!(AetrEvent::from_le_bytes(ev.to_le_bytes()), ev);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_ticks_saturate() {
+        let ts = Timestamp::from_ticks(u64::MAX);
+        assert!(ts.is_saturated());
+        assert_eq!(ts, Timestamp::SATURATED);
+        // The exact field maximum is also the saturation marker.
+        assert!(Timestamp::from_ticks(TIMESTAMP_MAX as u64).is_saturated());
+        assert!(!Timestamp::from_ticks(TIMESTAMP_MAX as u64 - 1).is_saturated());
+    }
+
+    #[test]
+    fn interval_reconstruction() {
+        let base = SimDuration::from_ns(66);
+        let ts = Timestamp::from_ticks(1_000);
+        assert_eq!(ts.to_interval(base), SimDuration::from_us(66));
+    }
+
+    #[test]
+    fn stream_codec_roundtrip() {
+        let events: Vec<AetrEvent> = (0..100)
+            .map(|i| {
+                AetrEvent::new(
+                    Address::new(i % 1024).unwrap(),
+                    Timestamp::from_ticks(i as u64 * 37),
+                )
+            })
+            .collect();
+        let bytes = encode_stream(&events);
+        assert_eq!(bytes.len(), 400);
+        assert_eq!(decode_stream(&bytes).unwrap(), events);
+    }
+
+    #[test]
+    fn misaligned_stream_rejected() {
+        let err = decode_stream(&[1, 2, 3]).unwrap_err();
+        assert_eq!(err.len, 3);
+        assert!(err.to_string().contains("multiple of 4"));
+    }
+
+    #[test]
+    fn display_forms() {
+        let ev = AetrEvent::new(Address::new(7).unwrap(), Timestamp::from_ticks(42));
+        assert_eq!(ev.to_string(), "@7 ts=42");
+        let sat = AetrEvent::new(Address::new(7).unwrap(), Timestamp::SATURATED);
+        assert_eq!(sat.to_string(), "@7 ts=SAT");
+    }
+}

@@ -1,0 +1,338 @@
+//! Runtime configuration register file.
+//!
+//! "A configuration bus, accessible by the outside through SPI, is used
+//! to modify the interface configuration registers at runtime"
+//! (paper §4): `θ_div` and `N_div` can be reloaded on the fly to trade
+//! accuracy for power, and the FIFO watermark tunes batching.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use aetr_clockgen::config::{ClockGenConfig, DivisionPolicy};
+
+/// Register addresses (7-bit SPI address space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Register {
+    /// Identification word, read-only (`0xAE72`).
+    Id = 0x00,
+    /// Control: bit 0 enables the interface.
+    Ctrl = 0x01,
+    /// Cycles between clock divisions (`θ_div`).
+    ThetaDiv = 0x02,
+    /// Divisions before clock shutdown (`N_div`).
+    NDiv = 0x03,
+    /// Division policy (0 recursive, 1 divide-only, 2 never, 3 linear).
+    Policy = 0x04,
+    /// FIFO drain watermark, in events.
+    FifoWatermark = 0x05,
+    /// Status, read-only: live FIFO occupancy.
+    Status = 0x06,
+    /// Events processed since reset, read-only.
+    EventCount = 0x07,
+}
+
+impl Register {
+    /// Decodes a raw 7-bit register address.
+    pub fn from_addr(addr: u8) -> Option<Register> {
+        Some(match addr {
+            0x00 => Register::Id,
+            0x01 => Register::Ctrl,
+            0x02 => Register::ThetaDiv,
+            0x03 => Register::NDiv,
+            0x04 => Register::Policy,
+            0x05 => Register::FifoWatermark,
+            0x06 => Register::Status,
+            0x07 => Register::EventCount,
+            _ => return None,
+        })
+    }
+
+    /// `true` if host writes are rejected.
+    pub fn is_read_only(self) -> bool {
+        matches!(self, Register::Id | Register::Status | Register::EventCount)
+    }
+}
+
+/// The identification word returned by [`Register::Id`].
+pub const ID_WORD: u32 = 0xAE72;
+
+/// Errors from register accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegisterError {
+    /// The 7-bit address does not decode to a register.
+    UnknownAddress {
+        /// Raw address.
+        addr: u8,
+    },
+    /// Write to a read-only register.
+    ReadOnly {
+        /// The register.
+        register: Register,
+    },
+    /// The written value violates the register's constraints.
+    InvalidValue {
+        /// The register.
+        register: Register,
+        /// The rejected value.
+        value: u32,
+    },
+}
+
+impl fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterError::UnknownAddress { addr } => {
+                write!(f, "no register at address 0x{addr:02x}")
+            }
+            RegisterError::ReadOnly { register } => {
+                write!(f, "register {register:?} is read-only")
+            }
+            RegisterError::InvalidValue { register, value } => {
+                write!(f, "value {value} is invalid for register {register:?}")
+            }
+        }
+    }
+}
+
+impl Error for RegisterError {}
+
+/// The configuration register file.
+///
+/// # Examples
+///
+/// ```
+/// use aetr::config_bus::{Register, RegisterFile};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut regs = RegisterFile::new();
+/// regs.write(Register::ThetaDiv, 32)?;
+/// assert_eq!(regs.read(Register::ThetaDiv), 32);
+/// assert_eq!(regs.read(Register::Id), aetr::config_bus::ID_WORD);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegisterFile {
+    ctrl: u32,
+    theta_div: u32,
+    n_div: u32,
+    policy: u32,
+    fifo_watermark: u32,
+    status: u32,
+    event_count: u32,
+}
+
+impl RegisterFile {
+    /// Creates a register file holding the prototype defaults.
+    pub fn new() -> RegisterFile {
+        RegisterFile::from_config(&ClockGenConfig::prototype(), 1_150)
+    }
+
+    /// Builds the register file view of an existing configuration.
+    pub fn from_config(config: &ClockGenConfig, fifo_watermark: u32) -> RegisterFile {
+        RegisterFile {
+            ctrl: 1,
+            theta_div: config.theta_div,
+            n_div: config.n_div,
+            policy: policy_code(config.policy),
+            fifo_watermark,
+            status: 0,
+            event_count: 0,
+        }
+    }
+
+    /// Reads a register.
+    pub fn read(&self, register: Register) -> u32 {
+        match register {
+            Register::Id => ID_WORD,
+            Register::Ctrl => self.ctrl,
+            Register::ThetaDiv => self.theta_div,
+            Register::NDiv => self.n_div,
+            Register::Policy => self.policy,
+            Register::FifoWatermark => self.fifo_watermark,
+            Register::Status => self.status,
+            Register::EventCount => self.event_count,
+        }
+    }
+
+    /// Writes a register, validating the value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegisterError`] for read-only targets or out-of-range
+    /// values (`θ_div < 2`, `N_div > 20`, unknown policy codes).
+    pub fn write(&mut self, register: Register, value: u32) -> Result<(), RegisterError> {
+        if register.is_read_only() {
+            return Err(RegisterError::ReadOnly { register });
+        }
+        let invalid = RegisterError::InvalidValue { register, value };
+        match register {
+            Register::Ctrl => self.ctrl = value & 1,
+            Register::ThetaDiv => {
+                if !(2..=65_536).contains(&value) {
+                    return Err(invalid);
+                }
+                self.theta_div = value;
+            }
+            Register::NDiv => {
+                if value > 20 {
+                    return Err(invalid);
+                }
+                self.n_div = value;
+            }
+            Register::Policy => {
+                if decode_policy(value).is_none() {
+                    return Err(invalid);
+                }
+                self.policy = value;
+            }
+            Register::FifoWatermark => {
+                if value == 0 {
+                    return Err(invalid);
+                }
+                self.fifo_watermark = value;
+            }
+            Register::Id | Register::Status | Register::EventCount => unreachable!(),
+        }
+        Ok(())
+    }
+
+    /// Hardware-side status update (FIFO occupancy).
+    pub fn set_status(&mut self, fifo_occupancy: u32) {
+        self.status = fifo_occupancy;
+    }
+
+    /// Hardware-side event counter update.
+    pub fn set_event_count(&mut self, count: u32) {
+        self.event_count = count;
+    }
+
+    /// `true` when the interface is enabled (CTRL bit 0).
+    pub fn is_enabled(&self) -> bool {
+        self.ctrl & 1 != 0
+    }
+
+    /// The FIFO watermark currently programmed.
+    pub fn fifo_watermark(&self) -> u32 {
+        self.fifo_watermark
+    }
+
+    /// Applies the programmed clocking fields onto a base configuration.
+    pub fn apply_to(&self, base: &ClockGenConfig) -> ClockGenConfig {
+        ClockGenConfig {
+            theta_div: self.theta_div,
+            n_div: self.n_div,
+            policy: decode_policy(self.policy).expect("policy validated on write"),
+            ..*base
+        }
+    }
+}
+
+impl Default for RegisterFile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn policy_code(policy: DivisionPolicy) -> u32 {
+    match policy {
+        DivisionPolicy::Recursive => 0,
+        DivisionPolicy::DivideOnly => 1,
+        DivisionPolicy::Never => 2,
+        DivisionPolicy::Linear => 3,
+    }
+}
+
+fn decode_policy(code: u32) -> Option<DivisionPolicy> {
+    Some(match code {
+        0 => DivisionPolicy::Recursive,
+        1 => DivisionPolicy::DivideOnly,
+        2 => DivisionPolicy::Never,
+        3 => DivisionPolicy::Linear,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_mirror_prototype() {
+        let regs = RegisterFile::new();
+        assert_eq!(regs.read(Register::ThetaDiv), 64);
+        assert_eq!(regs.read(Register::NDiv), 3);
+        assert_eq!(regs.read(Register::Policy), 0);
+        assert!(regs.is_enabled());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut regs = RegisterFile::new();
+        regs.write(Register::ThetaDiv, 16).unwrap();
+        regs.write(Register::NDiv, 7).unwrap();
+        regs.write(Register::Policy, 2).unwrap();
+        let cfg = regs.apply_to(&ClockGenConfig::prototype());
+        assert_eq!(cfg.theta_div, 16);
+        assert_eq!(cfg.n_div, 7);
+        assert_eq!(cfg.policy, DivisionPolicy::Never);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn read_only_registers_reject_writes() {
+        let mut regs = RegisterFile::new();
+        for r in [Register::Id, Register::Status, Register::EventCount] {
+            assert_eq!(regs.write(r, 5), Err(RegisterError::ReadOnly { register: r }));
+        }
+        // But hardware-side setters work.
+        regs.set_status(42);
+        regs.set_event_count(7);
+        assert_eq!(regs.read(Register::Status), 42);
+        assert_eq!(regs.read(Register::EventCount), 7);
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        let mut regs = RegisterFile::new();
+        assert!(matches!(
+            regs.write(Register::ThetaDiv, 1),
+            Err(RegisterError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            regs.write(Register::NDiv, 21),
+            Err(RegisterError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            regs.write(Register::Policy, 9),
+            Err(RegisterError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            regs.write(Register::FifoWatermark, 0),
+            Err(RegisterError::InvalidValue { .. })
+        ));
+        // State unchanged after rejections.
+        assert_eq!(regs.read(Register::ThetaDiv), 64);
+    }
+
+    #[test]
+    fn address_decoding() {
+        assert_eq!(Register::from_addr(0x02), Some(Register::ThetaDiv));
+        assert_eq!(Register::from_addr(0x7F), None);
+        let e = RegisterError::UnknownAddress { addr: 0x7F };
+        assert!(e.to_string().contains("0x7f"));
+    }
+
+    #[test]
+    fn ctrl_masks_to_one_bit() {
+        let mut regs = RegisterFile::new();
+        regs.write(Register::Ctrl, 0xFFFF_FFFE).unwrap();
+        assert!(!regs.is_enabled());
+        regs.write(Register::Ctrl, 3).unwrap();
+        assert!(regs.is_enabled());
+        assert_eq!(regs.read(Register::Ctrl), 1);
+    }
+}

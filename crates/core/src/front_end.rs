@@ -1,0 +1,211 @@
+//! The AER front-end input monitor (paper Fig. 4).
+//!
+//! The asynchronous `REQ` line crosses into the clocked domain through
+//! a cascade of two flip-flops that reduces the chance of
+//! metastability; the 10-bit `ADDR` bus — guaranteed stable while
+//! `REQ` is high — is captured by a single register. A request
+//! therefore becomes visible to the sampling FSM `sync_stages` ticks
+//! after assertion, one tick later if the edge fell inside the
+//! metastability window of a tick.
+
+use serde::{Deserialize, Serialize};
+
+use aetr_aer::address::Address;
+use aetr_sim::time::{SimDuration, SimTime};
+
+/// Front-end configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrontEndConfig {
+    /// Synchroniser depth in flip-flops (ticks of latency). The
+    /// prototype uses 2; 0 models an ideal synchroniser (useful when
+    /// comparing against the behavioral engine).
+    pub sync_stages: u32,
+    /// Setup/hold window around a tick: a `REQ` edge closer than this
+    /// to the capturing edge is (deterministically) taken by the *next*
+    /// tick, modelling metastability resolution.
+    pub metastability_window: SimDuration,
+}
+
+impl FrontEndConfig {
+    /// The prototype: 2-FF synchroniser, 200 ps setup/hold window.
+    pub fn prototype() -> FrontEndConfig {
+        FrontEndConfig { sync_stages: 2, metastability_window: SimDuration::from_ps(200) }
+    }
+
+    /// An ideal front end: zero latency, zero window. Makes the DES
+    /// interface tick-for-tick comparable with the behavioral engine.
+    pub fn ideal() -> FrontEndConfig {
+        FrontEndConfig { sync_stages: 0, metastability_window: SimDuration::ZERO }
+    }
+}
+
+impl Default for FrontEndConfig {
+    fn default() -> Self {
+        Self::prototype()
+    }
+}
+
+/// The input monitor state machine.
+///
+/// # Examples
+///
+/// ```
+/// use aetr::front_end::{FrontEndConfig, InputMonitor};
+/// use aetr_aer::address::Address;
+/// use aetr_sim::time::SimTime;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut monitor = InputMonitor::new(FrontEndConfig::prototype());
+/// monitor.req_rise(SimTime::from_ns(10), Address::new(5)?);
+/// // Two clock ticks to synchronise:
+/// assert!(!monitor.on_tick(SimTime::from_ns(100)));
+/// assert!(monitor.on_tick(SimTime::from_ns(200)));
+/// assert_eq!(monitor.sampled_address(), Some(Address::new(5)?));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InputMonitor {
+    config: FrontEndConfig,
+    /// `(rise time, latched address)` of the in-flight request.
+    request: Option<(SimTime, Address)>,
+    /// Ticks the request has propagated through.
+    stages_passed: u32,
+}
+
+impl InputMonitor {
+    /// Creates an idle monitor.
+    pub fn new(config: FrontEndConfig) -> InputMonitor {
+        InputMonitor { config, request: None, stages_passed: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FrontEndConfig {
+        &self.config
+    }
+
+    /// Handles the asynchronous `REQ` rising edge: latches the address
+    /// (stable per the AER contract) and starts synchronisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request is already in flight — AER forbids a second
+    /// `REQ` before the first acknowledge completes.
+    pub fn req_rise(&mut self, now: SimTime, addr: Address) {
+        assert!(self.request.is_none(), "REQ rise while a request is already in flight");
+        self.request = Some((now, addr));
+        self.stages_passed = 0;
+    }
+
+    /// A sampling clock tick at `now`. Returns `true` once the request
+    /// is synchronised and ready to be sampled by the FSM.
+    pub fn on_tick(&mut self, now: SimTime) -> bool {
+        let Some((rise, _)) = self.request else {
+            return false;
+        };
+        if self.is_synchronized() {
+            return true;
+        }
+        // An edge inside the metastability window of this tick is not
+        // captured by it.
+        if now < rise + self.config.metastability_window {
+            return false;
+        }
+        self.stages_passed += 1;
+        self.is_synchronized()
+    }
+
+    /// `true` once the synchroniser has propagated the request.
+    pub fn is_synchronized(&self) -> bool {
+        self.request.is_some() && self.stages_passed >= self.config.sync_stages
+    }
+
+    /// The latched address of the in-flight request.
+    pub fn sampled_address(&self) -> Option<Address> {
+        self.request.map(|(_, a)| a)
+    }
+
+    /// Handles the `REQ` falling edge (after acknowledge): clears the
+    /// monitor for the next request.
+    pub fn req_fall(&mut self) {
+        self.request = None;
+        self.stages_passed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(v: u16) -> Address {
+        Address::new(v).unwrap()
+    }
+
+    #[test]
+    fn ideal_front_end_synchronises_instantly() {
+        let mut m = InputMonitor::new(FrontEndConfig::ideal());
+        m.req_rise(SimTime::from_ns(5), addr(1));
+        assert!(m.is_synchronized(), "0-stage synchroniser is immediate");
+        assert!(m.on_tick(SimTime::from_ns(10)));
+    }
+
+    #[test]
+    fn two_stage_sync_takes_two_ticks() {
+        let mut m = InputMonitor::new(FrontEndConfig::prototype());
+        m.req_rise(SimTime::from_ns(0), addr(7));
+        assert!(!m.on_tick(SimTime::from_ns(70)));
+        assert!(m.on_tick(SimTime::from_ns(140)));
+        assert!(m.on_tick(SimTime::from_ns(210)), "stays synchronised");
+    }
+
+    #[test]
+    fn metastable_edge_slips_one_tick() {
+        let cfg = FrontEndConfig {
+            sync_stages: 1,
+            metastability_window: SimDuration::from_ns(1),
+        };
+        let mut m = InputMonitor::new(cfg);
+        // REQ rises 500 ps before the tick: inside the 1 ns window.
+        m.req_rise(SimTime::from_ps(9_500), addr(3));
+        assert!(!m.on_tick(SimTime::from_ps(10_000)), "edge in the window is missed");
+        assert!(m.on_tick(SimTime::from_ps(20_000)));
+    }
+
+    #[test]
+    fn clean_edge_is_captured_by_next_tick() {
+        let cfg = FrontEndConfig {
+            sync_stages: 1,
+            metastability_window: SimDuration::from_ns(1),
+        };
+        let mut m = InputMonitor::new(cfg);
+        m.req_rise(SimTime::from_ns(5), addr(3));
+        assert!(m.on_tick(SimTime::from_ns(10)));
+    }
+
+    #[test]
+    fn req_fall_clears_for_next_request() {
+        let mut m = InputMonitor::new(FrontEndConfig::ideal());
+        m.req_rise(SimTime::from_ns(0), addr(1));
+        m.req_fall();
+        assert_eq!(m.sampled_address(), None);
+        assert!(!m.on_tick(SimTime::from_ns(10)));
+        m.req_rise(SimTime::from_ns(20), addr(2));
+        assert_eq!(m.sampled_address(), Some(addr(2)));
+    }
+
+    #[test]
+    fn idle_monitor_reports_nothing() {
+        let mut m = InputMonitor::new(FrontEndConfig::prototype());
+        assert!(!m.on_tick(SimTime::from_ns(10)));
+        assert!(!m.is_synchronized());
+        assert_eq!(m.sampled_address(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in flight")]
+    fn double_req_rise_panics() {
+        let mut m = InputMonitor::new(FrontEndConfig::prototype());
+        m.req_rise(SimTime::from_ns(0), addr(1));
+        m.req_rise(SimTime::from_ns(1), addr(2));
+    }
+}

@@ -1,0 +1,277 @@
+//! Bit-level SPI slave for the configuration bus.
+//!
+//! The host reaches the register file through a standard SPI port
+//! (mode 0: data sampled on the rising SCK edge, MSB first). A
+//! transaction is one 40-bit frame:
+//!
+//! ```text
+//!  bit 39   bits 38..32   bits 31..0
+//! +-------+-------------+------------+
+//! |  R/W  |  address:7  |  data:32   |
+//! +-------+-------------+------------+
+//! ```
+//!
+//! `R/W = 1` writes `data` to the register; `R/W = 0` reads it, with
+//! the value shifted out on MISO during the data phase of the *same*
+//! frame (full-duplex, as the register value is available
+//! combinationally).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config_bus::{Register, RegisterError, RegisterFile};
+
+/// Frame length in bits.
+pub const FRAME_BITS: usize = 40;
+
+/// Result of one completed SPI frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpiResponse {
+    /// A write was applied.
+    WriteOk {
+        /// Target register.
+        register: Register,
+        /// Value written.
+        value: u32,
+    },
+    /// A read completed; the value was shifted out on MISO.
+    ReadOk {
+        /// Source register.
+        register: Register,
+        /// Value returned.
+        value: u32,
+    },
+    /// The frame addressed no register or carried an invalid value;
+    /// the slave ignored it.
+    Rejected(RegisterError),
+}
+
+/// Bit-level SPI slave front-end to a [`RegisterFile`].
+///
+/// Drive it edge by edge with [`clock_bit`](SpiSlave::clock_bit) while
+/// chip-select is asserted; each call is one rising SCK edge. MISO is
+/// returned per bit. Deasserting chip-select mid-frame
+/// ([`deselect`](SpiSlave::deselect)) aborts the frame.
+///
+/// # Examples
+///
+/// ```
+/// use aetr::config_bus::{Register, RegisterFile};
+/// use aetr::spi::{write_frame, SpiSlave, SpiResponse};
+///
+/// let mut regs = RegisterFile::new();
+/// let mut spi = SpiSlave::new();
+/// let frame = write_frame(Register::ThetaDiv as u8, 32);
+/// let mut response = None;
+/// for bit in frame {
+///     response = spi.clock_bit(&mut regs, bit).1;
+/// }
+/// assert!(matches!(response, Some(SpiResponse::WriteOk { value: 32, .. })));
+/// assert_eq!(regs.read(Register::ThetaDiv), 32);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpiSlave {
+    shift_in: u64,
+    bits: usize,
+    /// Read data being shifted out (MSB first), captured when the
+    /// address phase completes on a read frame.
+    shift_out: Option<u32>,
+}
+
+impl SpiSlave {
+    /// Creates an idle slave.
+    pub fn new() -> SpiSlave {
+        SpiSlave::default()
+    }
+
+    /// One rising SCK edge with chip-select asserted: samples `mosi`,
+    /// returns `(miso, response)` where `response` is `Some` on the
+    /// 40th bit of a frame.
+    pub fn clock_bit(
+        &mut self,
+        regs: &mut RegisterFile,
+        mosi: bool,
+    ) -> (bool, Option<SpiResponse>) {
+        self.shift_in = (self.shift_in << 1) | mosi as u64;
+        self.bits += 1;
+
+        // After the 8-bit command phase of a read, latch the register
+        // value for the MISO shift-out.
+        if self.bits == 8 {
+            let rw = (self.shift_in >> 7) & 1 == 1;
+            let addr = (self.shift_in & 0x7F) as u8;
+            if !rw {
+                if let Some(reg) = Register::from_addr(addr) {
+                    self.shift_out = Some(regs.read(reg));
+                }
+            }
+        }
+
+        // MISO: during the data phase of a read, shift the latched
+        // value MSB first; otherwise drive low.
+        let miso = match self.shift_out {
+            Some(v) if self.bits > 8 && self.bits <= 40 => {
+                (v >> (40 - self.bits)) & 1 == 1
+            }
+            _ => false,
+        };
+
+        if self.bits < FRAME_BITS {
+            return (miso, None);
+        }
+
+        // Frame complete: decode and apply.
+        let frame = self.shift_in;
+        self.reset_frame();
+        let rw = (frame >> 39) & 1 == 1;
+        let addr = ((frame >> 32) & 0x7F) as u8;
+        let data = (frame & 0xFFFF_FFFF) as u32;
+        let Some(reg) = Register::from_addr(addr) else {
+            return (miso, Some(SpiResponse::Rejected(RegisterError::UnknownAddress { addr })));
+        };
+        let response = if rw {
+            match regs.write(reg, data) {
+                Ok(()) => SpiResponse::WriteOk { register: reg, value: data },
+                Err(e) => SpiResponse::Rejected(e),
+            }
+        } else {
+            SpiResponse::ReadOk { register: reg, value: regs.read(reg) }
+        };
+        (miso, Some(response))
+    }
+
+    /// Chip-select deasserted: abort any partial frame.
+    pub fn deselect(&mut self) {
+        self.reset_frame();
+    }
+
+    fn reset_frame(&mut self) {
+        self.shift_in = 0;
+        self.bits = 0;
+        self.shift_out = None;
+    }
+}
+
+/// Builds the MOSI bit sequence for a write transaction (MSB first).
+pub fn write_frame(addr: u8, value: u32) -> Vec<bool> {
+    frame_bits(true, addr, value)
+}
+
+/// Builds the MOSI bit sequence for a read transaction (MSB first; the
+/// data phase bits are don't-care zeros).
+pub fn read_frame(addr: u8) -> Vec<bool> {
+    frame_bits(false, addr, 0)
+}
+
+fn frame_bits(rw: bool, addr: u8, data: u32) -> Vec<bool> {
+    let word: u64 = ((rw as u64) << 39) | (((addr & 0x7F) as u64) << 32) | data as u64;
+    (0..FRAME_BITS).map(|i| (word >> (FRAME_BITS - 1 - i)) & 1 == 1).collect()
+}
+
+/// Runs a full frame through the slave, returning the response and the
+/// 32-bit value shifted out on MISO during the data phase.
+pub fn run_frame(
+    spi: &mut SpiSlave,
+    regs: &mut RegisterFile,
+    mosi: &[bool],
+) -> (Option<SpiResponse>, u32) {
+    let mut response = None;
+    let mut miso_word = 0u32;
+    for (i, &bit) in mosi.iter().enumerate() {
+        let (miso, r) = spi.clock_bit(regs, bit);
+        if (8..40).contains(&i) {
+            miso_word = (miso_word << 1) | miso as u32;
+        }
+        if r.is_some() {
+            response = r;
+        }
+    }
+    (response, miso_word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut regs = RegisterFile::new();
+        let mut spi = SpiSlave::new();
+        let (resp, _) = run_frame(&mut spi, &mut regs, &write_frame(Register::NDiv as u8, 9));
+        assert_eq!(resp, Some(SpiResponse::WriteOk { register: Register::NDiv, value: 9 }));
+
+        let (resp, miso) = run_frame(&mut spi, &mut regs, &read_frame(Register::NDiv as u8));
+        assert_eq!(resp, Some(SpiResponse::ReadOk { register: Register::NDiv, value: 9 }));
+        assert_eq!(miso, 9, "read value appears on MISO in the same frame");
+    }
+
+    #[test]
+    fn id_register_reads_magic() {
+        let mut regs = RegisterFile::new();
+        let mut spi = SpiSlave::new();
+        let (_, miso) = run_frame(&mut spi, &mut regs, &read_frame(0x00));
+        assert_eq!(miso, crate::config_bus::ID_WORD);
+    }
+
+    #[test]
+    fn unknown_address_rejected() {
+        let mut regs = RegisterFile::new();
+        let mut spi = SpiSlave::new();
+        let (resp, _) = run_frame(&mut spi, &mut regs, &write_frame(0x55, 1));
+        assert!(matches!(
+            resp,
+            Some(SpiResponse::Rejected(RegisterError::UnknownAddress { addr: 0x55 }))
+        ));
+    }
+
+    #[test]
+    fn invalid_value_rejected_without_side_effects() {
+        let mut regs = RegisterFile::new();
+        let mut spi = SpiSlave::new();
+        let before = regs.read(Register::ThetaDiv);
+        let (resp, _) =
+            run_frame(&mut spi, &mut regs, &write_frame(Register::ThetaDiv as u8, 1));
+        assert!(matches!(resp, Some(SpiResponse::Rejected(_))));
+        assert_eq!(regs.read(Register::ThetaDiv), before);
+    }
+
+    #[test]
+    fn deselect_aborts_partial_frame() {
+        let mut regs = RegisterFile::new();
+        let mut spi = SpiSlave::new();
+        // Clock half a write frame, then abort.
+        for &bit in write_frame(Register::NDiv as u8, 9).iter().take(20) {
+            spi.clock_bit(&mut regs, bit);
+        }
+        spi.deselect();
+        // A fresh complete frame still works and the aborted one had no
+        // effect.
+        assert_eq!(regs.read(Register::NDiv), 3);
+        let (resp, _) = run_frame(&mut spi, &mut regs, &write_frame(Register::NDiv as u8, 5));
+        assert!(matches!(resp, Some(SpiResponse::WriteOk { .. })));
+        assert_eq!(regs.read(Register::NDiv), 5);
+    }
+
+    #[test]
+    fn back_to_back_frames_share_one_slave() {
+        let mut regs = RegisterFile::new();
+        let mut spi = SpiSlave::new();
+        for (addr, val) in [(Register::ThetaDiv as u8, 16u32), (Register::NDiv as u8, 2)] {
+            let (resp, _) = run_frame(&mut spi, &mut regs, &write_frame(addr, val));
+            assert!(matches!(resp, Some(SpiResponse::WriteOk { .. })));
+        }
+        assert_eq!(regs.read(Register::ThetaDiv), 16);
+        assert_eq!(regs.read(Register::NDiv), 2);
+    }
+
+    #[test]
+    fn frame_bit_layout_msb_first() {
+        let bits = write_frame(0x02, 1);
+        assert_eq!(bits.len(), FRAME_BITS);
+        assert!(bits[0], "R/W bit first");
+        // Address 0x02 = 0000010 in bits 1..8.
+        let addr_bits: Vec<bool> = bits[1..8].to_vec();
+        assert_eq!(addr_bits, vec![false, false, false, false, false, true, false]);
+        // Data LSB last.
+        assert!(bits[39]);
+    }
+}

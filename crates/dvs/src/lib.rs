@@ -1,0 +1,37 @@
+//! # aetr-dvs — synthetic event-based vision sensor
+//!
+//! The vision-side counterpart of the cochlea model: a DVS-style
+//! array of logarithmic temporal-contrast [pixels](pixel) watching
+//! analytic [scenes](scene) (moving bar, drifting grating, flicker),
+//! producing AER spike trains on the interface's 10-bit bus (32×16
+//! pixels × 2 polarities = 1024 addresses).
+//!
+//! The paper's related work motivates exactly this pairing: DVS128,
+//! the Gottardi contrast sensor, and Rusci et al.'s "smart visual
+//! trigger" all feed event streams to low-power interfaces.
+//!
+//! # Examples
+//!
+//! ```
+//! use aetr_dvs::scene::MovingBar;
+//! use aetr_dvs::sensor::{DvsConfig, DvsSensor};
+//! use aetr_sim::time::SimTime;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sensor = DvsSensor::new(DvsConfig::aer10bit())?;
+//! let events = sensor.observe(&MovingBar::demo(), SimTime::from_ms(200));
+//! println!("{} events from the moving bar", events.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pixel;
+pub mod scene;
+pub mod sensor;
+
+pub use pixel::{ChangeDetector, PixelConfig, Polarity};
+pub use scene::{DriftingGrating, FlickerPatch, MovingBar, Scene, StaticScene};
+pub use sensor::{DvsConfig, DvsSensor};

@@ -1,0 +1,180 @@
+//! The DVS pixel: a logarithmic temporal-contrast change detector.
+//!
+//! Each pixel remembers the log-brightness at its last event and fires
+//! an ON (brighter) or OFF (darker) event whenever the current
+//! log-brightness moves more than a threshold away from that memory,
+//! subject to an absolute refractory period — the Lichtsteiner/
+//! Delbrück DVS pixel at behavioural level.
+
+use serde::{Deserialize, Serialize};
+
+use aetr_sim::time::{SimDuration, SimTime};
+
+/// Event polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Polarity {
+    /// Brightness increased past the threshold.
+    On,
+    /// Brightness decreased past the threshold.
+    Off,
+}
+
+/// Pixel parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PixelConfig {
+    /// Contrast threshold in natural-log units (0.15 ≈ 16 % contrast,
+    /// a typical DVS setting).
+    pub threshold: f64,
+    /// Absolute refractory period per pixel.
+    pub refractory: SimDuration,
+}
+
+impl PixelConfig {
+    /// DVS128-like defaults: 15 % contrast threshold, 100 µs
+    /// refractory.
+    pub fn dvs128() -> PixelConfig {
+        PixelConfig { threshold: 0.15, refractory: SimDuration::from_us(100) }
+    }
+}
+
+impl Default for PixelConfig {
+    fn default() -> Self {
+        Self::dvs128()
+    }
+}
+
+/// One change-detector pixel.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_dvs::pixel::{ChangeDetector, PixelConfig, Polarity};
+/// use aetr_sim::time::SimTime;
+///
+/// let mut px = ChangeDetector::new(PixelConfig::dvs128(), 0.2);
+/// // A 2x brightness step (ln 2 ≈ 0.69 >> 0.15) fires ON events.
+/// let ev = px.observe(SimTime::from_us(10), 0.4);
+/// assert_eq!(ev, Some(Polarity::On));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChangeDetector {
+    config: PixelConfig,
+    /// Log-brightness memorised at the last event (or reset).
+    reference: f64,
+    refractory_until: Option<SimTime>,
+}
+
+impl ChangeDetector {
+    /// Creates a pixel adapted to the initial brightness.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive initial brightness or non-positive
+    /// threshold.
+    pub fn new(config: PixelConfig, initial_brightness: f64) -> ChangeDetector {
+        assert!(initial_brightness > 0.0, "brightness must be positive");
+        assert!(config.threshold > 0.0, "threshold must be positive");
+        ChangeDetector { config, reference: initial_brightness.ln(), refractory_until: None }
+    }
+
+    /// Observes the brightness at `now`; returns the polarity if the
+    /// pixel fires. After an event the reference steps *by one
+    /// threshold* toward the input (the DVS behaviour: a large step
+    /// produces a burst of events, one per threshold crossing).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive brightness.
+    pub fn observe(&mut self, now: SimTime, brightness: f64) -> Option<Polarity> {
+        assert!(brightness > 0.0, "brightness must be positive, got {brightness}");
+        if let Some(until) = self.refractory_until {
+            if now < until {
+                return None;
+            }
+            self.refractory_until = None;
+        }
+        let log_b = brightness.ln();
+        let delta = log_b - self.reference;
+        if delta >= self.config.threshold {
+            self.reference += self.config.threshold;
+            self.refractory_until = Some(now + self.config.refractory);
+            Some(Polarity::On)
+        } else if delta <= -self.config.threshold {
+            self.reference -= self.config.threshold;
+            self.refractory_until = Some(now + self.config.refractory);
+            Some(Polarity::Off)
+        } else {
+            None
+        }
+    }
+
+    /// The current log-brightness reference.
+    pub fn reference(&self) -> f64 {
+        self.reference
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn px(initial: f64) -> ChangeDetector {
+        ChangeDetector::new(PixelConfig::dvs128(), initial)
+    }
+
+    #[test]
+    fn no_change_no_events() {
+        let mut p = px(0.5);
+        for i in 0..1_000 {
+            assert_eq!(p.observe(SimTime::from_us(i), 0.5), None);
+        }
+    }
+
+    #[test]
+    fn subthreshold_drift_is_ignored() {
+        let mut p = px(0.5);
+        // 10% change < 15% threshold (in log terms ln(1.1)=0.095<0.15).
+        assert_eq!(p.observe(SimTime::from_us(1), 0.55), None);
+    }
+
+    #[test]
+    fn large_step_bursts_one_event_per_threshold() {
+        let mut p = px(0.2);
+        // 4x step: ln 4 ≈ 1.386 ≈ 9.2 thresholds -> ~9 ON events spaced
+        // by the refractory period.
+        let mut events = 0;
+        let mut t = SimTime::from_us(1);
+        for _ in 0..20 {
+            if p.observe(t, 0.8) == Some(Polarity::On) {
+                events += 1;
+            }
+            t += SimDuration::from_us(150);
+        }
+        assert!((8..=10).contains(&events), "burst size {events}");
+        // Reference has converged: no more events.
+        assert_eq!(p.observe(t + SimDuration::from_ms(1), 0.8), None);
+    }
+
+    #[test]
+    fn darkening_fires_off() {
+        let mut p = px(0.8);
+        assert_eq!(p.observe(SimTime::from_us(1), 0.4), Some(Polarity::Off));
+    }
+
+    #[test]
+    fn refractory_gates_the_rate() {
+        let mut p = px(0.1);
+        assert_eq!(p.observe(SimTime::from_us(1), 10.0), Some(Polarity::On));
+        // 50 µs later (inside the 100 µs refractory): silent.
+        assert_eq!(p.observe(SimTime::from_us(51), 10.0), None);
+        // 150 µs later: fires again (still thresholds to cross).
+        assert_eq!(p.observe(SimTime::from_us(151), 10.0), Some(Polarity::On));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_brightness_panics() {
+        let mut p = px(0.5);
+        let _ = p.observe(SimTime::ZERO, 0.0);
+    }
+}

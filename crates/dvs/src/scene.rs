@@ -1,0 +1,178 @@
+//! Analytic scenes: continuous brightness fields the sensor watches.
+//!
+//! A DVS pixel responds to *temporal contrast* — changes in
+//! log-brightness — so scenes are defined as closed-form functions of
+//! `(x, y, t)`, not frame stacks. That keeps the stimulus exact at any
+//! time resolution, which matters because the whole point of the AETR
+//! interface is sub-microsecond event timing.
+
+use serde::{Deserialize, Serialize};
+
+/// A time-varying brightness field over the unit square.
+///
+/// Coordinates are normalised to `[0, 1]`; brightness is linear
+/// radiance, strictly positive (the pixel takes its logarithm).
+pub trait Scene {
+    /// Brightness at position `(x, y)` and time `t` (seconds).
+    fn brightness(&self, x: f64, y: f64, t_secs: f64) -> f64;
+}
+
+/// A bright bar sweeping across the field of view at constant speed —
+/// the classic DVS demo stimulus (pole balancing, vehicle counting).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MovingBar {
+    /// Bar width as a fraction of the field of view.
+    pub width: f64,
+    /// Sweep speed in fields-of-view per second.
+    pub speed: f64,
+    /// Background radiance.
+    pub background: f64,
+    /// Bar radiance (contrast = bar / background).
+    pub bar: f64,
+}
+
+impl MovingBar {
+    /// A high-contrast bar crossing the view in half a second.
+    pub fn demo() -> MovingBar {
+        MovingBar { width: 0.1, speed: 2.0, background: 0.2, bar: 1.0 }
+    }
+}
+
+impl Scene for MovingBar {
+    fn brightness(&self, x: f64, _y: f64, t_secs: f64) -> f64 {
+        // Bar's leading edge wraps around the unit interval.
+        let edge = (self.speed * t_secs).rem_euclid(1.0);
+        let in_bar = if edge >= self.width {
+            x > edge - self.width && x <= edge
+        } else {
+            // Wrapped: bar occupies [0, edge] ∪ [1 - (width - edge), 1].
+            x <= edge || x > 1.0 - (self.width - edge)
+        };
+        if in_bar {
+            self.bar
+        } else {
+            self.background
+        }
+    }
+}
+
+/// A drifting sinusoidal grating — the standard contrast-sensitivity
+/// stimulus; produces smooth, dense, periodic event activity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftingGrating {
+    /// Spatial frequency in cycles per field of view.
+    pub cycles: f64,
+    /// Drift speed in cycles per second.
+    pub drift_hz: f64,
+    /// Mean radiance.
+    pub mean: f64,
+    /// Michelson contrast in `[0, 1)`.
+    pub contrast: f64,
+}
+
+impl Scene for DriftingGrating {
+    fn brightness(&self, x: f64, _y: f64, t_secs: f64) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * (self.cycles * x - self.drift_hz * t_secs);
+        self.mean * (1.0 + self.contrast * phase.sin())
+    }
+}
+
+/// A static scene: no change, so an ideal change detector emits
+/// nothing — the sensor-side analogue of the paper's "absence of
+/// spikes" power floor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaticScene {
+    /// The constant radiance.
+    pub level: f64,
+}
+
+impl Scene for StaticScene {
+    fn brightness(&self, _x: f64, _y: f64, _t: f64) -> f64 {
+        self.level
+    }
+}
+
+/// A square-wave flickering patch (an LED in the corner of the view):
+/// localised, high-rate activity against a static background.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlickerPatch {
+    /// Patch centre.
+    pub cx: f64,
+    /// Patch centre.
+    pub cy: f64,
+    /// Patch radius.
+    pub radius: f64,
+    /// Flicker frequency in Hz.
+    pub freq_hz: f64,
+    /// Off-state radiance (also the background).
+    pub low: f64,
+    /// On-state radiance.
+    pub high: f64,
+}
+
+impl Scene for FlickerPatch {
+    fn brightness(&self, x: f64, y: f64, t_secs: f64) -> f64 {
+        let inside = (x - self.cx).powi(2) + (y - self.cy).powi(2) <= self.radius.powi(2);
+        if !inside {
+            return self.low;
+        }
+        let phase = (self.freq_hz * t_secs).rem_euclid(1.0);
+        if phase < 0.5 {
+            self.high
+        } else {
+            self.low
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_bar_sweeps_and_wraps() {
+        let bar = MovingBar::demo();
+        // At t=0 the edge is at 0: bar wrapped to the right end.
+        assert_eq!(bar.brightness(0.99, 0.5, 0.0), bar.bar);
+        assert_eq!(bar.brightness(0.5, 0.5, 0.0), bar.background);
+        // At t=0.125 (speed 2): edge at 0.25, bar covers (0.15, 0.25].
+        assert_eq!(bar.brightness(0.2, 0.5, 0.125), bar.bar);
+        assert_eq!(bar.brightness(0.1, 0.5, 0.125), bar.background);
+        // One full period later the pattern repeats.
+        assert_eq!(bar.brightness(0.2, 0.5, 0.625), bar.bar);
+    }
+
+    #[test]
+    fn grating_is_periodic_and_positive() {
+        let g = DriftingGrating { cycles: 4.0, drift_hz: 8.0, mean: 0.5, contrast: 0.9 };
+        for i in 0..100 {
+            let x = i as f64 / 100.0;
+            let b = g.brightness(x, 0.0, 0.123);
+            assert!(b > 0.0, "brightness must stay positive, got {b}");
+        }
+        let a = g.brightness(0.3, 0.0, 0.0);
+        let b = g.brightness(0.3, 0.0, 1.0 / 8.0); // one drift period
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_scene_never_changes() {
+        let s = StaticScene { level: 0.7 };
+        assert_eq!(s.brightness(0.1, 0.2, 0.0), s.brightness(0.9, 0.8, 123.0));
+    }
+
+    #[test]
+    fn flicker_toggles_inside_patch_only() {
+        let f = FlickerPatch {
+            cx: 0.5,
+            cy: 0.5,
+            radius: 0.1,
+            freq_hz: 100.0,
+            low: 0.1,
+            high: 1.0,
+        };
+        assert_eq!(f.brightness(0.5, 0.5, 0.001), 1.0); // on phase
+        assert_eq!(f.brightness(0.5, 0.5, 0.006), 0.1); // off phase
+        assert_eq!(f.brightness(0.9, 0.9, 0.001), 0.1); // outside
+    }
+}

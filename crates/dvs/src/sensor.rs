@@ -1,0 +1,313 @@
+//! The assembled event-vision sensor: a pixel array watching a scene.
+//!
+//! Addressing matches the 10-bit AER bus of the interface exactly:
+//! a 32×16 array (512 pixels) with a polarity bit —
+//! `addr = polarity << 9 | y · width + x`.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use aetr_aer::address::Address;
+use aetr_aer::spike::{Spike, SpikeTrain};
+use aetr_sim::time::{SimDuration, SimTime};
+
+use crate::pixel::{ChangeDetector, PixelConfig, Polarity};
+use crate::scene::Scene;
+
+/// Sensor geometry and sampling parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvsConfig {
+    /// Pixels per row.
+    pub width: usize,
+    /// Rows.
+    pub height: usize,
+    /// Scene evaluation step (the continuous pixel is integrated at
+    /// this resolution; 10 µs resolves kHz-scale flicker).
+    pub time_step: SimDuration,
+    /// Per-pixel change-detector parameters.
+    pub pixel: PixelConfig,
+}
+
+impl DvsConfig {
+    /// The bus-filling default: 32×16 pixels, 10 µs evaluation step.
+    pub fn aer10bit() -> DvsConfig {
+        DvsConfig {
+            width: 32,
+            height: 16,
+            time_step: SimDuration::from_us(10),
+            pixel: PixelConfig::dvs128(),
+        }
+    }
+
+    /// Validates the address budget: `2 · width · height ≤ 1024`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DvsConfigError`] on overflow or an empty array.
+    pub fn validate(&self) -> Result<(), DvsConfigError> {
+        if self.width == 0 || self.height == 0 {
+            return Err(DvsConfigError::EmptyArray);
+        }
+        if self.width * self.height * 2 > 1 << 10 {
+            return Err(DvsConfigError::TooManyPixels {
+                pixels: self.width * self.height,
+            });
+        }
+        if self.time_step.is_zero() {
+            return Err(DvsConfigError::ZeroTimeStep);
+        }
+        Ok(())
+    }
+
+    /// Pixels in the array.
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+impl Default for DvsConfig {
+    fn default() -> Self {
+        Self::aer10bit()
+    }
+}
+
+/// Configuration errors of the vision sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DvsConfigError {
+    /// Zero-sized pixel array.
+    EmptyArray,
+    /// `2 · pixels` exceeds the 10-bit AER address space.
+    TooManyPixels {
+        /// Offending pixel count.
+        pixels: usize,
+    },
+    /// The scene evaluation step must be positive.
+    ZeroTimeStep,
+}
+
+impl fmt::Display for DvsConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DvsConfigError::EmptyArray => write!(f, "pixel array must be non-empty"),
+            DvsConfigError::TooManyPixels { pixels } => {
+                write!(f, "{pixels} pixels with polarity exceed the 10-bit address space")
+            }
+            DvsConfigError::ZeroTimeStep => write!(f, "time step must be non-zero"),
+        }
+    }
+}
+
+impl Error for DvsConfigError {}
+
+/// The event-vision sensor.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_dvs::scene::MovingBar;
+/// use aetr_dvs::sensor::{DvsConfig, DvsSensor};
+/// use aetr_sim::time::SimTime;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sensor = DvsSensor::new(DvsConfig::aer10bit())?;
+/// let events = sensor.observe(&MovingBar::demo(), SimTime::from_ms(100));
+/// assert!(!events.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DvsSensor {
+    config: DvsConfig,
+}
+
+impl DvsSensor {
+    /// Creates a sensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DvsConfigError`] if the configuration is invalid.
+    pub fn new(config: DvsConfig) -> Result<DvsSensor, DvsConfigError> {
+        config.validate()?;
+        Ok(DvsSensor { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DvsConfig {
+        &self.config
+    }
+
+    /// Encodes `(x, y, polarity)` into an AER address.
+    pub fn address_of(&self, x: usize, y: usize, polarity: Polarity) -> Address {
+        let pixel = y * self.config.width + x;
+        let pol_bit = match polarity {
+            Polarity::On => 0u16,
+            Polarity::Off => 1,
+        };
+        Address::new((pol_bit << 9) | pixel as u16).expect("validated address space")
+    }
+
+    /// Decodes an address back into `(x, y, polarity)`.
+    pub fn decode_address(&self, addr: Address) -> Option<(usize, usize, Polarity)> {
+        let v = addr.value();
+        let polarity = if v & (1 << 9) == 0 { Polarity::On } else { Polarity::Off };
+        let pixel = (v & 0x1FF) as usize;
+        if pixel >= self.config.pixels() {
+            return None;
+        }
+        Some((pixel % self.config.width, pixel / self.config.width, polarity))
+    }
+
+    /// Watches `scene` from time zero to `until`, producing the AER
+    /// event stream. Deterministic: pixels are evaluated on a fixed
+    /// grid with sub-step de-interleaving (pixel index staggers the
+    /// phase within a step so simultaneous array-wide changes do not
+    /// collapse onto identical timestamps — the arbiter of a real
+    /// sensor would serialise them similarly).
+    pub fn observe<S: Scene>(&self, scene: &S, until: SimTime) -> SpikeTrain {
+        let step = self.config.time_step;
+        let steps = until.saturating_duration_since(SimTime::ZERO) / step;
+        let n_px = self.config.pixels();
+        let mut pixels: Vec<ChangeDetector> = (0..n_px)
+            .map(|i| {
+                let (x, y) = (i % self.config.width, i / self.config.width);
+                let b0 = scene.brightness(
+                    (x as f64 + 0.5) / self.config.width as f64,
+                    (y as f64 + 0.5) / self.config.height as f64,
+                    0.0,
+                );
+                ChangeDetector::new(self.config.pixel, b0.max(1e-9))
+            })
+            .collect();
+
+        let mut spikes = Vec::new();
+        for k in 1..=steps {
+            let t_base = SimTime::ZERO + step.saturating_mul(k);
+            for (i, px) in pixels.iter_mut().enumerate() {
+                let (x, y) = (i % self.config.width, i / self.config.width);
+                // Stagger each pixel inside the step (readout skew).
+                let skew = SimDuration::from_ps(
+                    step.as_ps() * (i as u64 % n_px as u64) / n_px as u64,
+                );
+                let t = t_base + skew;
+                let b = scene
+                    .brightness(
+                        (x as f64 + 0.5) / self.config.width as f64,
+                        (y as f64 + 0.5) / self.config.height as f64,
+                        t.as_secs_f64(),
+                    )
+                    .max(1e-9);
+                if let Some(pol) = px.observe(t, b) {
+                    spikes.push(Spike::new(t, self.address_of(x, y, pol)));
+                }
+            }
+        }
+        SpikeTrain::from_unsorted(spikes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::{DriftingGrating, FlickerPatch, MovingBar, StaticScene};
+
+    fn sensor() -> DvsSensor {
+        DvsSensor::new(DvsConfig::aer10bit()).unwrap()
+    }
+
+    #[test]
+    fn static_scene_is_silent() {
+        let events = sensor().observe(&StaticScene { level: 0.5 }, SimTime::from_ms(100));
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn moving_bar_produces_balanced_polarities() {
+        let events = sensor().observe(&MovingBar::demo(), SimTime::from_ms(500));
+        assert!(events.len() > 1_000, "bar produced {} events", events.len());
+        let s = sensor();
+        let on = events
+            .iter()
+            .filter(|e| matches!(s.decode_address(e.addr), Some((_, _, Polarity::On))))
+            .count();
+        let off = events.len() - on;
+        // Each bar passage brightens then darkens every pixel equally.
+        let ratio = on as f64 / off.max(1) as f64;
+        assert!((0.7..1.4).contains(&ratio), "ON/OFF ratio {ratio}");
+    }
+
+    #[test]
+    fn flicker_events_localise_to_the_patch() {
+        let patch = FlickerPatch {
+            cx: 0.25,
+            cy: 0.5,
+            radius: 0.15,
+            freq_hz: 200.0,
+            low: 0.1,
+            high: 1.0,
+        };
+        let s = sensor();
+        let events = s.observe(&patch, SimTime::from_ms(100));
+        assert!(!events.is_empty());
+        for e in &events {
+            let (x, y, _) = s.decode_address(e.addr).unwrap();
+            let fx = (x as f64 + 0.5) / 32.0;
+            let fy = (y as f64 + 0.5) / 16.0;
+            let d2 = (fx - 0.25).powi(2) + (fy - 0.5).powi(2);
+            assert!(d2 <= 0.15f64.powi(2) + 1e-9, "event outside the patch at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn grating_rate_scales_with_drift_speed() {
+        let slow = DriftingGrating { cycles: 3.0, drift_hz: 2.0, mean: 0.5, contrast: 0.8 };
+        let fast = DriftingGrating { cycles: 3.0, drift_hz: 20.0, mean: 0.5, contrast: 0.8 };
+        let n_slow = sensor().observe(&slow, SimTime::from_ms(200)).len();
+        let n_fast = sensor().observe(&fast, SimTime::from_ms(200)).len();
+        assert!(
+            n_fast > n_slow * 3,
+            "drift 2 Hz -> {n_slow} events, 20 Hz -> {n_fast}"
+        );
+    }
+
+    #[test]
+    fn address_roundtrip_covers_the_array() {
+        let s = sensor();
+        for (x, y) in [(0usize, 0usize), (31, 0), (0, 15), (31, 15), (13, 7)] {
+            for pol in [Polarity::On, Polarity::Off] {
+                let addr = s.address_of(x, y, pol);
+                assert_eq!(s.decode_address(addr), Some((x, y, pol)));
+            }
+        }
+    }
+
+    #[test]
+    fn timestamps_are_deinterleaved_within_steps() {
+        let events = sensor().observe(&MovingBar::demo(), SimTime::from_ms(50));
+        let unique: std::collections::HashSet<u64> =
+            events.iter().map(|e| e.time.as_ps()).collect();
+        // Mostly distinct timestamps despite grid evaluation.
+        assert!(
+            unique.len() as f64 / events.len() as f64 > 0.9,
+            "{} unique of {}",
+            unique.len(),
+            events.len()
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(DvsConfig { width: 0, ..DvsConfig::aer10bit() }.validate().is_err());
+        assert!(DvsConfig { width: 40, height: 16, ..DvsConfig::aer10bit() }
+            .validate()
+            .is_err());
+        assert!(DvsConfig {
+            time_step: SimDuration::ZERO,
+            ..DvsConfig::aer10bit()
+        }
+        .validate()
+        .is_err());
+        assert!(DvsConfig::aer10bit().validate().is_ok());
+    }
+}

@@ -1,0 +1,179 @@
+//! Downstream (MCU-side) energy model — the paper's §3 argument,
+//! quantified.
+//!
+//! > "the time domain information must be extracted explicitly. The
+//! > former behavior can only be implemented in a typical
+//! > microcontroller by forcing it to remain always-on ... conversely,
+//! > making the time domain information explicit could enable storing
+//! > and accumulating events so that they can be processed in batch,
+//! > allowing more efficient usage of the downstream computing device."
+//!
+//! Two consumption strategies for the same event stream:
+//!
+//! * **always-on** — the MCU stays awake for the whole recording to
+//!   observe implicit inter-spike times itself;
+//! * **batched** — the AETR interface accumulates events; the MCU
+//!   sleeps, wakes per batch, processes, and sleeps again.
+
+use serde::{Deserialize, Serialize};
+
+use aetr_sim::time::SimDuration;
+
+use crate::units::{Energy, Power};
+
+/// MCU power states and costs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct McuPowerModel {
+    /// Active (run-mode) power.
+    pub active: Power,
+    /// Deep-sleep power.
+    pub sleep: Power,
+    /// Energy cost of one sleep→active transition.
+    pub wake_energy: Energy,
+    /// CPU time to process one event.
+    pub per_event_cpu: SimDuration,
+    /// Fixed CPU time per wake (context restore, DMA setup).
+    pub per_wake_cpu: SimDuration,
+}
+
+impl McuPowerModel {
+    /// An STM32-L476-class MCU at a modest clock: 8 mW active, 2 µW
+    /// stop-mode, 5 µJ wake cost, 2 µs of CPU per event, 200 µs per
+    /// wake.
+    pub fn stm32l476() -> McuPowerModel {
+        McuPowerModel {
+            active: Power::from_milliwatts(8.0),
+            sleep: Power::from_microwatts(2.0),
+            wake_energy: Energy::from_nanojoules(5_000.0),
+            per_event_cpu: SimDuration::from_us(2),
+            per_wake_cpu: SimDuration::from_us(200),
+        }
+    }
+}
+
+impl Default for McuPowerModel {
+    fn default() -> Self {
+        Self::stm32l476()
+    }
+}
+
+/// Energy comparison for one recording.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DownstreamComparison {
+    /// MCU energy if it must stay awake for the whole span.
+    pub always_on: Energy,
+    /// MCU energy if it wakes once per batch.
+    pub batched: Energy,
+}
+
+impl DownstreamComparison {
+    /// `always_on / batched` — how much the explicit AETR timestamps
+    /// save the downstream device.
+    pub fn saving_factor(&self) -> f64 {
+        let b = self.batched.as_picojoules();
+        if b == 0.0 {
+            f64::INFINITY
+        } else {
+            self.always_on.as_picojoules() / b
+        }
+    }
+}
+
+/// Compares the two strategies over a recording of `span` containing
+/// `events` events delivered in `batches` batches.
+///
+/// # Panics
+///
+/// Panics if `batches` is zero while `events` is not.
+pub fn compare(
+    model: &McuPowerModel,
+    span: SimDuration,
+    events: u64,
+    batches: u64,
+) -> DownstreamComparison {
+    assert!(events == 0 || batches > 0, "events need at least one batch");
+    // Always-on: active for the whole span (it cannot know when the
+    // next event comes, so it cannot sleep).
+    let always_on = model.active * span;
+
+    // Batched: sleep for the whole span except the per-batch busy time.
+    let busy = model
+        .per_wake_cpu
+        .saturating_mul(batches)
+        .saturating_add_events(model.per_event_cpu, events);
+    let busy = busy.min(span);
+    let batched = model.active * busy
+        + model.sleep * (span - busy)
+        + model.wake_energy * batches as f64;
+    DownstreamComparison { always_on, batched }
+}
+
+/// Helper: `self + per_event · events` with saturation.
+trait AddEvents {
+    fn saturating_add_events(self, per_event: SimDuration, events: u64) -> SimDuration;
+}
+
+impl AddEvents for SimDuration {
+    fn saturating_add_events(self, per_event: SimDuration, events: u64) -> SimDuration {
+        self + per_event.saturating_mul(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batching_wins_by_orders_of_magnitude_on_sparse_streams() {
+        // 1000 events over 10 s, one batch per second.
+        let cmp = compare(&McuPowerModel::stm32l476(), SimDuration::from_secs(10), 1_000, 10);
+        // Always-on: 8 mW * 10 s = 80 mJ.
+        assert!((cmp.always_on.as_microjoules() - 80_000.0).abs() < 1.0);
+        // Batched: ~10 wakes * (200us*8mW + 5uJ) + 1000 * 2us * 8mW + sleep.
+        assert!(cmp.batched.as_microjoules() < 150.0, "{}", cmp.batched);
+        assert!(cmp.saving_factor() > 500.0, "factor {}", cmp.saving_factor());
+    }
+
+    #[test]
+    fn dense_streams_shrink_the_advantage() {
+        // 5M events over 10 s: the CPU is busy most of the time anyway.
+        let cmp =
+            compare(&McuPowerModel::stm32l476(), SimDuration::from_secs(10), 5_000_000, 10);
+        assert!(cmp.saving_factor() < 2.0, "factor {}", cmp.saving_factor());
+        // Fully CPU-bound: batching degenerates to always-on plus the
+        // (small) wake overhead — factor just under 1.
+        assert!(cmp.saving_factor() > 0.99, "factor {}", cmp.saving_factor());
+    }
+
+    #[test]
+    fn more_batches_cost_more_wakes() {
+        let model = McuPowerModel::stm32l476();
+        let few = compare(&model, SimDuration::from_secs(10), 1_000, 2);
+        let many = compare(&model, SimDuration::from_secs(10), 1_000, 500);
+        assert!(many.batched > few.batched, "{} vs {}", many.batched, few.batched);
+        assert_eq!(many.always_on, few.always_on);
+    }
+
+    #[test]
+    fn zero_events_is_pure_sleep_vs_pure_active() {
+        let model = McuPowerModel::stm32l476();
+        let cmp = compare(&model, SimDuration::from_secs(1), 0, 0);
+        assert!((cmp.batched.as_microjoules() - 2.0).abs() < 0.01, "{}", cmp.batched);
+        assert!(cmp.saving_factor() > 3_000.0);
+    }
+
+    #[test]
+    fn busy_time_is_clamped_to_span() {
+        // Pathological: more CPU work than wall-clock; batched degrades
+        // to always-on plus wake costs, never less than sleep floor.
+        let model = McuPowerModel::stm32l476();
+        let cmp = compare(&model, SimDuration::from_ms(1), 10_000_000, 1);
+        assert!(cmp.batched >= cmp.always_on, "overloaded batching cannot beat always-on");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one batch")]
+    fn events_without_batches_panics() {
+        let _ = compare(&McuPowerModel::stm32l476(), SimDuration::from_secs(1), 10, 0);
+    }
+}

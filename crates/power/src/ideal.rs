@@ -1,0 +1,129 @@
+//! The ideal energy-proportional model — Eq. (1) of the paper:
+//!
+//! ```text
+//! P_ideal(r) = E_spike · r + P_static
+//! ```
+//!
+//! where `P_static` is the FPGA's leakage (50 µW) and `E_spike` is the
+//! dynamic energy per spike, estimated from the high-activity region
+//! where all dynamic power is attributable to event processing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Energy, Power};
+
+/// The ideal energy-proportional power line.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_power::ideal::IdealModel;
+/// use aetr_power::units::{Energy, Power};
+///
+/// let ideal = IdealModel::new(Energy::from_nanojoules(8.1), Power::from_microwatts(50.0));
+/// let p = ideal.power_at(550_000.0);
+/// assert!((p.as_milliwatts() - 4.5).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IdealModel {
+    /// Dynamic energy per spike.
+    pub e_spike: Energy,
+    /// Static floor.
+    pub p_static: Power,
+}
+
+impl IdealModel {
+    /// Creates the model from its two parameters.
+    pub fn new(e_spike: Energy, p_static: Power) -> IdealModel {
+        IdealModel { e_spike, p_static }
+    }
+
+    /// Ideal power at an event rate (events per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_hz` is negative or not finite.
+    pub fn power_at(&self, rate_hz: f64) -> Power {
+        assert!(rate_hz.is_finite() && rate_hz >= 0.0, "rate must be non-negative, got {rate_hz}");
+        Power::from_microwatts(
+            self.e_spike.as_picojoules() * rate_hz / 1e6 + self.p_static.as_microwatts(),
+        )
+    }
+
+    /// Estimates `E_spike` the way the paper does: attribute all
+    /// dynamic power in the high-activity region to events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_hz` is not strictly positive and finite.
+    pub fn fit_from_high_activity(
+        measured: Power,
+        rate_hz: f64,
+        p_static: Power,
+    ) -> IdealModel {
+        assert!(rate_hz.is_finite() && rate_hz > 0.0, "rate must be positive, got {rate_hz}");
+        let dynamic_uw = (measured - p_static).as_microwatts();
+        let e_spike = Energy::from_picojoules(dynamic_uw * 1e6 / rate_hz);
+        IdealModel { e_spike, p_static }
+    }
+
+    /// Energy-proportionality gap of a measured point: measured power
+    /// divided by ideal power at the same rate (≥ 1; 1 is perfect).
+    pub fn proportionality_gap(&self, measured: Power, rate_hz: f64) -> f64 {
+        let ideal = self.power_at(rate_hz).as_microwatts();
+        if ideal == 0.0 {
+            f64::INFINITY
+        } else {
+            measured.as_microwatts() / ideal
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_fit() {
+        // Fit from the paper's endpoints: 4.5 mW at 550 kevt/s, 50 µW
+        // static -> E_spike ≈ 8.1 nJ.
+        let ideal = IdealModel::fit_from_high_activity(
+            Power::from_milliwatts(4.5),
+            550_000.0,
+            Power::from_microwatts(50.0),
+        );
+        let nj = ideal.e_spike.as_nanojoules();
+        assert!((nj - 8.09).abs() < 0.05, "E_spike {nj} nJ");
+        // Round trip: the fit reproduces the anchor point.
+        let p = ideal.power_at(550_000.0);
+        assert!((p.as_milliwatts() - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rate_is_static_floor() {
+        let ideal = IdealModel::new(Energy::from_nanojoules(8.0), Power::from_microwatts(50.0));
+        assert_eq!(ideal.power_at(0.0), Power::from_microwatts(50.0));
+    }
+
+    #[test]
+    fn line_is_linear_in_rate() {
+        let ideal = IdealModel::new(Energy::from_nanojoules(2.0), Power::from_microwatts(10.0));
+        let p1 = ideal.power_at(1_000.0).as_microwatts();
+        let p2 = ideal.power_at(2_000.0).as_microwatts();
+        let p3 = ideal.power_at(3_000.0).as_microwatts();
+        assert!(((p2 - p1) - (p3 - p2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportionality_gap_of_the_naive_baseline() {
+        // The naïve 4.5 mW-flat baseline is ~90x off ideal at very low
+        // rates (the paper's "90x factor").
+        let ideal = IdealModel::fit_from_high_activity(
+            Power::from_milliwatts(4.5),
+            550_000.0,
+            Power::from_microwatts(50.0),
+        );
+        let gap = ideal.proportionality_gap(Power::from_milliwatts(4.5), 10.0);
+        assert!((80.0..100.0).contains(&gap), "gap {gap}");
+    }
+}

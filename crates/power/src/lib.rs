@@ -1,0 +1,130 @@
+//! # aetr-power — calibrated power/energy modelling
+//!
+//! The substitution for the paper's on-board FPGA power measurements:
+//! [`units`] defines `Power`/`Energy` newtypes, [`model`] the
+//! block-level power model calibrated to the IGLOO nano AGLN250
+//! anchors (50 µW static floor, ≈4.5 mW at 550 kevt/s), [`ideal`] the
+//! paper's Eq. (1) energy-proportional reference line, and [`meter`]
+//! an integrating meter the discrete-event interface narrates its
+//! activity to.
+//!
+//! # Examples
+//!
+//! Evaluate the power of a mostly-sleeping interface:
+//!
+//! ```
+//! use aetr_power::model::{ActivityInput, PowerModel};
+//! use aetr_sim::time::SimDuration;
+//!
+//! let model = PowerModel::igloo_nano();
+//! let activity = ActivityInput {
+//!     active: vec![(1, SimDuration::from_ms(10))],
+//!     off: SimDuration::from_ms(990),
+//!     wake_count: 100,
+//!     event_count: 100,
+//! };
+//! let report = model.evaluate(&activity);
+//! // ~1% duty at full speed: close to the 50 µW floor.
+//! assert!(report.total.as_microwatts() < 150.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod downstream;
+pub mod ideal;
+pub mod meter;
+pub mod model;
+pub mod units;
+
+pub use battery::{Battery, DutyProfile};
+pub use downstream::{compare as compare_downstream, DownstreamComparison, McuPowerModel};
+pub use ideal::IdealModel;
+pub use meter::PowerMeter;
+pub use model::{ActivityInput, Block, PowerModel, PowerReport};
+pub use units::{Energy, Power};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use aetr_sim::time::{SimDuration, SimTime};
+
+    use crate::meter::PowerMeter;
+    use crate::model::{ActivityInput, PowerModel};
+    use crate::units::Power;
+
+    proptest! {
+        /// Power is monotone in clock activity: moving time from "off"
+        /// to "active at full speed" never decreases total power.
+        #[test]
+        fn power_monotone_in_activity(active_ms in 0u64..1_000, total_ms in 1_001u64..2_000) {
+            let model = PowerModel::igloo_nano();
+            let make = |a_ms: u64| {
+                let mut input = ActivityInput::default();
+                if a_ms > 0 {
+                    input.active.push((1, SimDuration::from_ms(a_ms)));
+                }
+                input.off = SimDuration::from_ms(total_ms - a_ms);
+                input
+            };
+            let lo = model.evaluate(&make(active_ms)).total;
+            let hi = model.evaluate(&make(active_ms + 1)).total;
+            prop_assert!(hi >= lo);
+        }
+
+        /// Total power is bounded below by the static floor.
+        #[test]
+        fn power_within_physical_bounds(
+            active_ms in 0u64..500,
+            off_ms in 0u64..500,
+            events in 0u64..1_000_000u64,
+        ) {
+            prop_assume!(active_ms + off_ms > 0);
+            let model = PowerModel::igloo_nano();
+            let input = ActivityInput {
+                active: if active_ms > 0 { vec![(1, SimDuration::from_ms(active_ms))] } else { vec![] },
+                off: SimDuration::from_ms(off_ms),
+                wake_count: 0,
+                event_count: events,
+            };
+            let total = model.evaluate(&input).total;
+            prop_assert!(total >= model.static_power);
+        }
+
+        /// The meter's integral equals the sum of its pieces: total
+        /// span is preserved exactly.
+        #[test]
+        fn meter_conserves_time(
+            segments in proptest::collection::vec((1u64..16, 1u64..10_000), 1..50),
+        ) {
+            let mut meter = PowerMeter::new(SimTime::ZERO);
+            let mut t = SimTime::ZERO;
+            for (i, &(mult, us)) in segments.iter().enumerate() {
+                if i % 3 == 2 {
+                    meter.clock_off(t);
+                } else {
+                    meter.clock_multiplier(t, mult);
+                }
+                t += SimDuration::from_us(us);
+            }
+            let activity = meter.finish(t);
+            prop_assert_eq!(activity.span(), t.saturating_duration_since(SimTime::ZERO));
+        }
+
+        /// Deeper division never increases clock power.
+        #[test]
+        fn division_monotone(m in 1u64..1_000) {
+            let model = PowerModel::igloo_nano();
+            let at = |mult: u64| {
+                model.evaluate(&ActivityInput {
+                    active: vec![(mult, SimDuration::from_ms(100))],
+                    ..ActivityInput::default()
+                }).total
+            };
+            prop_assert!(at(m + 1) <= at(m));
+            prop_assert!(at(m) >= Power::from_microwatts(50.0));
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Power and energy quantities.
+//!
+//! [`Power`] is kept in microwatts and [`Energy`] in picojoules —
+//! the natural magnitudes of the paper's measurements (50 µW floor,
+//! 4.5 mW ceiling, nanojoules per event). Both are `f64` newtypes:
+//! power numbers are *reported* quantities fitted to a physical
+//! prototype, so float arithmetic is appropriate (simulation *time*
+//! stays integer).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use aetr_sim::time::SimDuration;
+
+/// Electrical power in microwatts.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_power::units::Power;
+/// use aetr_sim::time::SimDuration;
+///
+/// let p = Power::from_milliwatts(4.5);
+/// let e = p * SimDuration::from_ms(10);
+/// assert!((e.as_microjoules() - 45.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Power(f64);
+
+/// Electrical energy in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Energy(f64);
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power(0.0);
+
+    /// Creates a power of `uw` microwatts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite values.
+    pub fn from_microwatts(uw: f64) -> Power {
+        assert!(uw.is_finite() && uw >= 0.0, "power must be finite and non-negative, got {uw}");
+        Power(uw)
+    }
+
+    /// Creates a power of `mw` milliwatts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite values.
+    pub fn from_milliwatts(mw: f64) -> Power {
+        Power::from_microwatts(mw * 1_000.0)
+    }
+
+    /// Power in microwatts.
+    pub fn as_microwatts(self) -> f64 {
+        self.0
+    }
+
+    /// Power in milliwatts.
+    pub fn as_milliwatts(self) -> f64 {
+        self.0 / 1_000.0
+    }
+}
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Creates an energy of `pj` picojoules.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite values.
+    pub fn from_picojoules(pj: f64) -> Energy {
+        assert!(pj.is_finite() && pj >= 0.0, "energy must be finite and non-negative, got {pj}");
+        Energy(pj)
+    }
+
+    /// Creates an energy of `nj` nanojoules.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite values.
+    pub fn from_nanojoules(nj: f64) -> Energy {
+        Energy::from_picojoules(nj * 1_000.0)
+    }
+
+    /// Energy in picojoules.
+    pub fn as_picojoules(self) -> f64 {
+        self.0
+    }
+
+    /// Energy in nanojoules.
+    pub fn as_nanojoules(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// Energy in microjoules.
+    pub fn as_microjoules(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Average power when spread over `span`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is zero.
+    pub fn over(self, span: SimDuration) -> Power {
+        assert!(!span.is_zero(), "cannot average energy over a zero span");
+        // pJ / s -> pW -> µW
+        Power(self.0 / span.as_secs_f64() / 1e6)
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    fn add(self, rhs: Power) -> Power {
+        Power(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Power {
+    fn add_assign(&mut self, rhs: Power) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Power {
+    type Output = Power;
+    fn sub(self, rhs: Power) -> Power {
+        Power((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Power {
+    type Output = Power;
+    fn mul(self, rhs: f64) -> Power {
+        Power(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Power {
+    type Output = Power;
+    fn div(self, rhs: f64) -> Power {
+        Power(self.0 / rhs)
+    }
+}
+
+impl Mul<SimDuration> for Power {
+    type Output = Energy;
+    fn mul(self, rhs: SimDuration) -> Energy {
+        // µW · s = µJ = 1e6 pJ
+        Energy(self.0 * rhs.as_secs_f64() * 1e6)
+    }
+}
+
+impl Sum for Power {
+    fn sum<I: Iterator<Item = Power>>(iter: I) -> Power {
+        iter.fold(Power::ZERO, Add::add)
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+    fn mul(self, rhs: f64) -> Energy {
+        Energy(self.0 * rhs)
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        iter.fold(Energy::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000.0 {
+            write!(f, "{:.3} mW", self.0 / 1_000.0)
+        } else {
+            write!(f, "{:.3} uW", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e6 {
+            write!(f, "{:.3} uJ", self.0 / 1e6)
+        } else if self.0 >= 1_000.0 {
+            write!(f, "{:.3} nJ", self.0 / 1_000.0)
+        } else {
+            write!(f, "{:.3} pJ", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_duration_is_energy() {
+        let e = Power::from_microwatts(50.0) * SimDuration::from_secs(1);
+        assert!((e.as_microjoules() - 50.0).abs() < 1e-9);
+        let e2 = Power::from_milliwatts(4.5) * SimDuration::from_us(1);
+        assert!((e2.as_nanojoules() - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_over_span_is_power() {
+        let p = Energy::from_nanojoules(100.0).over(SimDuration::from_us(10));
+        // 100 nJ / 10 µs = 10 mW
+        assert!((p.as_milliwatts() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic_and_sum() {
+        let total: Power = [Power::from_microwatts(10.0), Power::from_microwatts(15.0)]
+            .into_iter()
+            .sum();
+        assert!((total.as_microwatts() - 25.0).abs() < 1e-12);
+        let e: Energy =
+            [Energy::from_picojoules(1.0), Energy::from_picojoules(2.0)].into_iter().sum();
+        assert!((e.as_picojoules() - 3.0).abs() < 1e-12);
+        assert!((Power::from_microwatts(9.0) / 3.0).as_microwatts() - 3.0 < 1e-12);
+    }
+
+    #[test]
+    fn power_sub_saturates_at_zero() {
+        let p = Power::from_microwatts(5.0) - Power::from_microwatts(50.0);
+        assert_eq!(p, Power::ZERO);
+    }
+
+    #[test]
+    fn display_uses_sensible_units() {
+        assert_eq!(Power::from_microwatts(50.0).to_string(), "50.000 uW");
+        assert_eq!(Power::from_milliwatts(4.5).to_string(), "4.500 mW");
+        assert_eq!(Energy::from_nanojoules(8.1).to_string(), "8.100 nJ");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_power_panics() {
+        let _ = Power::from_microwatts(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero span")]
+    fn energy_over_zero_span_panics() {
+        let _ = Energy::from_picojoules(1.0).over(SimDuration::ZERO);
+    }
+}

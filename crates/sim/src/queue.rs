@@ -1,0 +1,323 @@
+//! A deterministic discrete-event queue.
+//!
+//! The queue orders events by `(time, sequence number)`: two events
+//! scheduled for the same instant pop in the order they were scheduled.
+//! This guarantees that a simulation is a pure function of its inputs —
+//! an essential property for reproducing the paper's experiments, which
+//! must give identical numbers on every run with the same seed.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Opaque handle to a scheduled event, usable to [cancel] it.
+///
+/// [cancel]: EventQueue::cancel
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+/// Error returned when scheduling an event in the simulated past.
+///
+/// A discrete-event simulation must never travel backwards; allowing it
+/// silently would reorder causality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulePastError {
+    /// The current simulation time.
+    pub now: SimTime,
+    /// The (invalid) requested activation time.
+    pub requested: SimTime,
+}
+
+impl fmt::Display for SchedulePastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot schedule event at {} in the past of simulation time {}",
+            self.requested, self.now
+        )
+    }
+}
+
+impl Error for SchedulePastError {}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    handle: EventHandle,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A monotonic, deterministic event queue over an arbitrary event type.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_sim::queue::EventQueue;
+/// use aetr_sim::time::{SimDuration, SimTime};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut q = EventQueue::new();
+/// q.schedule_after(SimDuration::from_ns(10), "b")?;
+/// q.schedule_at(SimTime::from_ns(5), "a")?;
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(5), "a")));
+/// assert_eq!(q.now(), SimTime::from_ns(5));
+/// assert_eq!(q.pop(), Some((SimTime::from_ns(10), "b")));
+/// assert_eq!(q.pop(), None);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<EventHandle>,
+    now: SimTime,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+        }
+    }
+
+    /// Current simulation time: the activation time of the most recently
+    /// popped event (zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// `true` if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedulePastError`] if `at` is earlier than [`now`].
+    /// Scheduling exactly *at* the current time is allowed (a delta
+    /// event) and pops after all already-queued events at that instant.
+    ///
+    /// [`now`]: EventQueue::now
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> Result<EventHandle, SchedulePastError> {
+        if at < self.now {
+            return Err(SchedulePastError { now: self.now, requested: at });
+        }
+        let handle = EventHandle(self.next_seq);
+        self.heap.push(Reverse(Entry { time: at, seq: self.next_seq, handle, event }));
+        self.next_seq += 1;
+        Ok(handle)
+    }
+
+    /// Schedules `event` a relative `delay` after the current time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedulePastError`] only if `now + delay` overflows the
+    /// timeline (treated as scheduling at an unreachable instant).
+    pub fn schedule_after(
+        &mut self,
+        delay: SimDuration,
+        event: E,
+    ) -> Result<EventHandle, SchedulePastError> {
+        let at = self
+            .now
+            .checked_add(delay)
+            .ok_or(SchedulePastError { now: self.now, requested: SimTime::MAX })?;
+        self.schedule_at(at, event)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it had
+    /// already popped or been cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false;
+        }
+        // Only insert if the event is plausibly still queued; a stale
+        // handle for an already-popped event is filtered on pop anyway,
+        // but we avoid unbounded growth by checking membership.
+        if self.heap.iter().any(|Reverse(e)| e.handle == handle) {
+            self.cancelled.insert(handle)
+        } else {
+            false
+        }
+    }
+
+    /// Pops the next live event, advancing the simulation clock to its
+    /// activation time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.handle) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now, "event queue went backwards");
+            self.now = entry.time;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// Activation time of the next live event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap
+            .iter()
+            .filter(|Reverse(e)| !self.cancelled.contains(&e.handle))
+            .map(|Reverse(e)| e.time)
+            .min()
+    }
+
+    /// Drops every pending event and resets the cancellation set; the
+    /// clock is left where it is.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ns(30), 3).unwrap();
+        q.schedule_at(SimTime::from_ns(10), 1).unwrap();
+        q.schedule_at(SimTime::from_ns(20), 2).unwrap();
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_pop_in_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(7);
+        for i in 0..10 {
+            q.schedule_at(t, i).unwrap();
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rejects_scheduling_in_the_past() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ns(10), ()).unwrap();
+        q.pop();
+        let err = q.schedule_at(SimTime::from_ns(5), ()).unwrap_err();
+        assert_eq!(err.now, SimTime::from_ns(10));
+        assert_eq!(err.requested, SimTime::from_ns(5));
+        assert!(err.to_string().contains("in the past"));
+    }
+
+    #[test]
+    fn delta_events_at_now_are_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ns(10), "first").unwrap();
+        q.pop();
+        q.schedule_at(SimTime::from_ns(10), "delta").unwrap();
+        assert_eq!(q.pop(), Some((SimTime::from_ns(10), "delta")));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ns(100), ()).unwrap();
+        q.pop();
+        q.schedule_after(SimDuration::from_ns(50), ()).unwrap();
+        assert_eq!(q.pop().unwrap().0, SimTime::from_ns(150));
+    }
+
+    #[test]
+    fn cancelled_events_never_pop() {
+        let mut q = EventQueue::new();
+        let keep = q.schedule_at(SimTime::from_ns(1), "keep").unwrap();
+        let drop_ = q.schedule_at(SimTime::from_ns(2), "drop").unwrap();
+        assert!(q.cancel(drop_));
+        assert!(!q.cancel(drop_), "double-cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_ns(1), "keep")));
+        assert_eq!(q.pop(), None);
+        assert!(!q.cancel(keep), "cancelling a popped event reports false");
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let first = q.schedule_at(SimTime::from_ns(1), ()).unwrap();
+        q.schedule_at(SimTime::from_ns(2), ()).unwrap();
+        q.cancel(first);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(2)));
+    }
+
+    #[test]
+    fn len_and_is_empty_track_cancellations() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let h = q.schedule_at(SimTime::from_ns(1), ()).unwrap();
+        assert_eq!(q.len(), 1);
+        q.cancel(h);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn clear_drops_everything_but_keeps_time() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ns(5), ()).unwrap();
+        q.pop();
+        q.schedule_at(SimTime::from_ns(9), ()).unwrap();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::from_ns(5));
+    }
+
+    #[test]
+    fn overflow_schedule_after_errors() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule_at(SimTime::MAX - SimDuration::from_ns(1), ()).unwrap();
+        q.pop();
+        assert!(q.schedule_after(SimDuration::MAX, ()).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! Battery-life projection: what energy-proportional timestamping
+//! buys an IoT node in the field.
+//!
+//! ```sh
+//! cargo run --release -p aetr --example battery_life
+//! ```
+
+use aetr::quantizer::quantize_train;
+use aetr_aer::generator::{BurstGenerator, SpikeSource};
+use aetr_clockgen::config::{ClockGenConfig, DivisionPolicy};
+use aetr_power::battery::{Battery, DutyProfile};
+use aetr_power::model::PowerModel;
+use aetr_sim::time::{SimDuration, SimTime};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A realistic acoustic-monitoring workload: short bursts of sound
+    // (~2% duty) against near-silence.
+    let train = BurstGenerator::new(
+        300_000.0,
+        20.0,
+        SimDuration::from_ms(40),
+        SimDuration::from_ms(1_960),
+        64,
+        7,
+    )
+    .generate(SimTime::from_secs(20));
+    println!(
+        "workload: {} events over 20 s (mean {:.0} evt/s, bursty)",
+        train.len(),
+        train.mean_rate()
+    );
+
+    let model = PowerModel::igloo_nano();
+    let measure = |policy| {
+        let cfg = ClockGenConfig::prototype().with_policy(policy);
+        let out = quantize_train(&cfg, &train, SimTime::from_secs(20));
+        model.evaluate(&out.activity).total
+    };
+    let proportional = measure(DivisionPolicy::Recursive);
+    let naive = measure(DivisionPolicy::Never);
+    println!("\ninterface power on this workload:");
+    println!("  recursive division: {proportional}");
+    println!("  constant clock:     {naive}");
+
+    println!("\nbattery life (interface draw only):");
+    for (name, cell) in [("CR2032 coin cell", Battery::cr2032()), ("2x AA", Battery::two_aa())] {
+        let d_prop = cell.lifetime_days(proportional);
+        let d_naive = cell.lifetime_days(naive);
+        println!(
+            "  {name:<17} {d_prop:>8.0} days vs {d_naive:>6.1} days naive ({:.0}x)",
+            d_prop / d_naive
+        );
+    }
+
+    // The same conclusion via an explicit duty profile (how a datasheet
+    // would state it).
+    let profile = DutyProfile::new(vec![
+        (0.02, aetr_power::Power::from_milliwatts(4.5)),
+        (0.98, aetr_power::Power::from_microwatts(60.0)),
+    ])?;
+    println!(
+        "\ndatasheet-style profile (2% noisy / 98% quiet): average {}, CR2032 {:.0} days",
+        profile.average(),
+        Battery::cr2032().lifetime_days(profile.average())
+    );
+    Ok(())
+}

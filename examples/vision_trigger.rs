@@ -1,0 +1,90 @@
+//! An always-on smart visual trigger (the Rusci et al. scenario from
+//! the paper's related work): a DVS-style sensor watches a mostly
+//! static scene; the AETR interface sleeps through the silence and
+//! wakes for motion; a trivial event-count trigger on the MCU side
+//! detects the moving object from the batched AETR stream.
+//!
+//! ```sh
+//! cargo run --release -p aetr --example vision_trigger
+//! ```
+
+use aetr::interface::{AerToI2sInterface, InterfaceConfig};
+use aetr::mcu::McuReceiver;
+use aetr_dvs::scene::{MovingBar, Scene, StaticScene};
+use aetr_dvs::sensor::{DvsConfig, DvsSensor};
+use aetr_sim::time::{SimDuration, SimTime};
+
+/// A scene that is static except for a bar crossing during
+/// `[motion_start, motion_end]`.
+struct Surveillance {
+    bar: MovingBar,
+    motion_start: f64,
+    motion_end: f64,
+}
+
+impl Scene for Surveillance {
+    fn brightness(&self, x: f64, y: f64, t_secs: f64) -> f64 {
+        if (self.motion_start..self.motion_end).contains(&t_secs) {
+            self.bar.brightness(x, y, t_secs - self.motion_start)
+        } else {
+            StaticScene { level: self.bar.background }.brightness(x, y, t_secs)
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scene = Surveillance {
+        bar: MovingBar::demo(),
+        motion_start: 0.4,
+        motion_end: 0.65,
+    };
+    let sensor = DvsSensor::new(DvsConfig::aer10bit())?;
+    let horizon = SimTime::from_secs(1);
+    let events = sensor.observe(&scene, horizon);
+    println!(
+        "sensor: {} events over 1 s (all inside the {}..{} ms motion window)",
+        events.len(),
+        scene.motion_start * 1e3,
+        scene.motion_end * 1e3
+    );
+
+    // Run the interface: it should sleep outside the motion window.
+    let interface = AerToI2sInterface::new(InterfaceConfig::prototype())?;
+    let report = interface.run(events, horizon);
+    println!("\ninterface:");
+    println!("  power over 1 s: {}", report.power.total);
+    println!("  clock off for:  {} of 1 s", report.activity.off);
+    println!("  wakes:          {}", report.wake_count);
+
+    // MCU-side trigger: count events per 50 ms window of reconstructed
+    // time; fire when a window exceeds a threshold.
+    let mcu = McuReceiver::new(interface.config().clock.base_sampling_period());
+    let rebuilt = mcu.receive(&report.i2s);
+    let window = SimDuration::from_ms(50);
+    let threshold = 30usize;
+    // Note: idle gaps longer than the measurable range arrive with
+    // saturated timestamps, so the reconstructed timeline *compresses*
+    // silence — exactly what a trigger wants: burst density survives,
+    // dead time shrinks.
+    println!("\ntrigger scan over the reconstructed (silence-compressed) timeline:");
+    let mut fired_windows = 0;
+    let end = rebuilt.last_time().unwrap_or(SimTime::ZERO);
+    let mut w_start = SimTime::ZERO;
+    while w_start < end {
+        let count = rebuilt.window(w_start, w_start + window).len();
+        if count >= threshold {
+            fired_windows += 1;
+            println!(
+                "  TRIGGER at reconstructed t={} ({} events)",
+                w_start, count
+            );
+        }
+        w_start += window;
+    }
+    println!(
+        "\n{} trigger window(s); the node slept at ~{} between them",
+        fired_windows,
+        aetr_power::Power::from_microwatts(50.0)
+    );
+    Ok(())
+}

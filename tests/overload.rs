@@ -1,0 +1,115 @@
+//! Failure-injection and overload behaviour: what happens when the
+//! workload exceeds what the architecture was provisioned for.
+
+use aetr::fifo::{FifoConfig, OverflowPolicy};
+use aetr::i2s::I2sConfig;
+use aetr::interface::{AerToI2sInterface, InterfaceConfig};
+use aetr_aer::generator::{LfsrGenerator, RegularGenerator, SpikeSource};
+use aetr_sim::time::{Frequency, SimDuration, SimTime};
+
+#[test]
+fn slow_i2s_link_overflows_the_fifo_not_the_sim() {
+    // Cripple the I2S link to 100 kHz SCK (~3.1 kevt/s) and a tiny
+    // FIFO, then offer 200 kevt/s: the FIFO must drop events and say
+    // so, while the simulation completes cleanly.
+    let cfg = InterfaceConfig {
+        i2s: I2sConfig { sck: Frequency::from_khz(100), bits_per_slot: 32 },
+        fifo: FifoConfig {
+            capacity_bytes: 256, // 64 events
+            watermark: 8,
+            overflow: OverflowPolicy::DropNewest,
+        },
+        ..InterfaceConfig::prototype()
+    };
+    let interface = AerToI2sInterface::new(cfg).unwrap();
+    let train = LfsrGenerator::new(200_000.0, 0xBAD).generate(SimTime::from_ms(20));
+    let offered = train.len() as u64;
+    let report = interface.run(train, SimTime::from_ms(20));
+
+    assert!(report.fifo_stats.dropped > 0, "expected overflow drops");
+    assert_eq!(report.fifo_stats.pushed + report.fifo_stats.dropped, offered);
+    assert!(report.fifo_stats.loss_ratio() > 0.5, "loss {:.2}", report.fifo_stats.loss_ratio());
+    // Whatever made it into the FIFO went out on I2S.
+    assert_eq!(report.i2s.event_count() as u64, report.fifo_stats.popped);
+    report.handshake.verify_protocol().unwrap();
+}
+
+#[test]
+fn drop_oldest_policy_keeps_the_freshest_events() {
+    let cfg = InterfaceConfig {
+        i2s: I2sConfig { sck: Frequency::from_khz(100), bits_per_slot: 32 },
+        fifo: FifoConfig {
+            capacity_bytes: 64, // 16 events
+            watermark: 16,
+            overflow: OverflowPolicy::DropOldest,
+        },
+        ..InterfaceConfig::prototype()
+    };
+    let interface = AerToI2sInterface::new(cfg).unwrap();
+    let train = RegularGenerator::from_rate(100_000.0, 1000).generate(SimTime::from_ms(10));
+    let last_addr = train.as_slice().last().unwrap().addr;
+    let report = interface.run(train, SimTime::from_ms(10));
+    assert!(report.fifo_stats.dropped > 0);
+    // The newest event always survives under DropOldest.
+    let delivered: Vec<u16> = report
+        .i2s
+        .frames()
+        .iter()
+        .flat_map(|f| f.events())
+        .map(|e| e.addr.value())
+        .collect();
+    assert_eq!(delivered.last().copied(), Some(last_addr.value()));
+}
+
+#[test]
+fn sustained_rate_beyond_service_rate_backpressures_the_sensor() {
+    // The interface serves one event per ~3 sampling ticks (2-FF sync
+    // + acknowledge), ~5 Mevt/s. Offer 12 Mevt/s: AER never loses
+    // events — the sensor-side queue absorbs them, and the queuing
+    // delay grows linearly with the backlog.
+    let interface = AerToI2sInterface::new(InterfaceConfig::prototype()).unwrap();
+    let train = RegularGenerator::from_rate(12_000_000.0, 16).generate(SimTime::from_us(100));
+    let n = train.len();
+    let report = interface.run(train, SimTime::from_us(100));
+    assert_eq!(report.events.len(), n, "AER never loses events, it backpressures");
+    let max_queue = report.handshake.max_queue_delay().unwrap();
+    assert!(
+        max_queue > SimDuration::from_us(10),
+        "expected sensor-side queuing, max delay {max_queue}"
+    );
+    // Note the handshakes themselves stay CAVIAR-clean: the wait
+    // happens *before* REQ rises (that is the point of AER flow
+    // control), so the 700 ns per-event budget is still honoured.
+    report.handshake.verify_caviar().unwrap();
+}
+
+#[test]
+fn minimum_fifo_still_functions() {
+    let cfg = InterfaceConfig {
+        fifo: FifoConfig {
+            capacity_bytes: 4, // exactly one event
+            watermark: 1,
+            overflow: OverflowPolicy::DropNewest,
+        },
+        ..InterfaceConfig::prototype()
+    };
+    let interface = AerToI2sInterface::new(cfg).unwrap();
+    let train = RegularGenerator::from_rate(10_000.0, 4).generate(SimTime::from_ms(5));
+    let n = train.len();
+    let report = interface.run(train, SimTime::from_ms(5));
+    // At 10 kevt/s one event drains long before the next arrives.
+    assert_eq!(report.fifo_stats.dropped, 0);
+    assert_eq!(report.i2s.event_count(), n);
+}
+
+#[test]
+fn horizon_before_last_spike_still_completes_all_events() {
+    // The run contract: input events are all processed even if the
+    // nominal horizon (power-integration window) ends earlier.
+    let interface = AerToI2sInterface::new(InterfaceConfig::prototype()).unwrap();
+    let train = RegularGenerator::from_rate(1_000.0, 4).generate(SimTime::from_ms(50));
+    let n = train.len();
+    let report = interface.run(train, SimTime::from_ms(10));
+    assert_eq!(report.events.len(), n);
+    assert_eq!(report.i2s.event_count(), n);
+}

@@ -1,0 +1,132 @@
+//! Robustness under imperfect conditions: input timing jitter, event
+//! loss, background noise, oscillator jitter, and PVT drift. The paper
+//! assumes clean inputs and a perfect clock (§5.1); these tests bound
+//! what reality costs.
+
+use aetr::quantizer::{isi_error_samples, quantize_train};
+use aetr_aer::generator::{PoissonGenerator, SpikeSource};
+use aetr_aer::noise::{add_jitter, drop_random, inject_background};
+use aetr_clockgen::config::ClockGenConfig;
+use aetr_clockgen::trim::{trim_to_target, PvtPoint};
+use aetr_sim::time::{SimDuration, SimTime};
+
+fn mean_error(cfg: &ClockGenConfig, train: &aetr_aer::spike::SpikeTrain) -> f64 {
+    let horizon = train.last_time().unwrap() + SimDuration::from_ms(1);
+    let out = quantize_train(cfg, train, horizon);
+    let s = isi_error_samples(&out);
+    s.iter().map(|e| e.relative_error()).sum::<f64>() / s.len() as f64
+}
+
+#[test]
+fn input_jitter_below_the_grid_is_invisible() {
+    // Jitter far below T_min (66 ns) cannot move detections across
+    // ticks often enough to matter.
+    let cfg = ClockGenConfig::prototype();
+    let train = PoissonGenerator::new(100_000.0, 64, 51).generate(SimTime::from_ms(100));
+    let clean = mean_error(&cfg, &train);
+    let jittered = mean_error(&cfg, &add_jitter(&train, SimDuration::from_ns(5), 1));
+    assert!(
+        (jittered - clean).abs() < 0.01,
+        "5 ns jitter moved mean error from {clean} to {jittered}"
+    );
+}
+
+#[test]
+fn input_jitter_beyond_the_grid_degrades_gracefully() {
+    let cfg = ClockGenConfig::prototype();
+    let train = PoissonGenerator::new(100_000.0, 64, 52).generate(SimTime::from_ms(100));
+    let clean = mean_error(&cfg, &train);
+    // 1 µs of REQ-wire jitter at 10 µs mean ISI: error grows, but by
+    // roughly the jitter-to-ISI ratio, not catastrophically.
+    let jittered = mean_error(&cfg, &add_jitter(&train, SimDuration::from_us(1), 2));
+    assert!(jittered > clean, "jitter must cost something");
+    assert!(jittered < clean + 0.25, "clean {clean} vs jittered {jittered}");
+}
+
+#[test]
+fn event_loss_does_not_break_the_quantizer() {
+    // Dropped events just lengthen the measured intervals; the stream
+    // stays valid and the survivors' timestamps stay coherent.
+    let cfg = ClockGenConfig::prototype();
+    let train = PoissonGenerator::new(50_000.0, 64, 53).generate(SimTime::from_ms(100));
+    let lossy = drop_random(&train, 0.2, 3);
+    let out = quantize_train(&cfg, &lossy, SimTime::from_ms(101));
+    assert_eq!(out.records.len(), lossy.len());
+    // Detections strictly increase even after loss.
+    for w in out.records.windows(2) {
+        assert!(w[1].detection > w[0].detection);
+    }
+}
+
+#[test]
+fn background_noise_raises_power_proportionally() {
+    use aetr_power::model::PowerModel;
+    let cfg = ClockGenConfig::prototype();
+    let model = PowerModel::igloo_nano();
+    let train = PoissonGenerator::new(5_000.0, 64, 54).generate(SimTime::from_secs(1));
+    let horizon = SimTime::from_secs(1);
+    let p_clean = model
+        .evaluate(&quantize_train(&cfg, &train, horizon).activity)
+        .total
+        .as_microwatts();
+    let noisy = inject_background(&train, 20_000.0, 64, 4);
+    let p_noisy = model
+        .evaluate(&quantize_train(&cfg, &noisy, horizon).activity)
+        .total
+        .as_microwatts();
+    assert!(
+        p_noisy > p_clean * 1.5,
+        "background noise must cost power: {p_clean} -> {p_noisy}"
+    );
+    // But still energy-proportional: nowhere near the 4.4 mW naive.
+    assert!(p_noisy < 2_000.0, "noisy power {p_noisy} uW");
+}
+
+#[test]
+fn oscillator_jitter_stays_below_quantization() {
+    use aetr_clockgen::jitter::{interval_error_rms, JitterConfig};
+    let cfg = ClockGenConfig::prototype();
+    let t_min = cfg.base_sampling_period();
+    // Across interval lengths spanning the active region, 1% RMS
+    // period jitter contributes less than the θ=64 quantization floor.
+    let floor = 1.0 / (2.0 * cfg.theta_div as f64);
+    for n_ticks in [8u64, 64, 512] {
+        let j = interval_error_rms(t_min, JitterConfig::igloo_nano(), n_ticks, 150, 5);
+        assert!(j < floor, "jitter {j} vs floor {floor} at {n_ticks} ticks");
+    }
+}
+
+#[test]
+fn pvt_drift_is_recoverable_by_trim() {
+    // The hot/low-voltage corner detunes the ring by several percent;
+    // after trim the sampling grid error is back under 2%, so
+    // timestamps (which are *relative* to the same grid) stay honest.
+    let nominal = ClockGenConfig::prototype();
+    let corner = PvtPoint { vdd: 1.1, temp_c: 70.0 };
+    let drifted = corner.apply(&nominal.ring);
+    let drift = (drifted.period().as_ps() as f64 - nominal.ring.period().as_ps() as f64)
+        / nominal.ring.period().as_ps() as f64;
+    assert!(drift.abs() > 0.03, "corner should detune noticeably, got {drift}");
+
+    let trimmed = trim_to_target(
+        &nominal.ring,
+        nominal.ring.config_frequency(),
+        corner,
+        3,
+        41,
+    );
+    assert!(trimmed.error < 0.02, "post-trim error {}", trimmed.error);
+}
+
+#[test]
+fn accuracy_ranking_is_stable_under_noise() {
+    // The paper's θ ordering (Fig. 7b) survives realistic impairments.
+    let train = {
+        let t = PoissonGenerator::new(80_000.0, 64, 55).generate(SimTime::from_ms(100));
+        let t = add_jitter(&t, SimDuration::from_ns(50), 6);
+        inject_background(&t, 2_000.0, 64, 7)
+    };
+    let e16 = mean_error(&ClockGenConfig::prototype().with_theta_div(16), &train);
+    let e64 = mean_error(&ClockGenConfig::prototype().with_theta_div(64), &train);
+    assert!(e64 < e16, "θ=64 ({e64}) must stay more accurate than θ=16 ({e16})");
+}
