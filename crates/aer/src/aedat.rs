@@ -117,11 +117,7 @@ impl From<io::Error> for AedatError {
 /// # Ok(())
 /// # }
 /// ```
-pub fn write_aedat<W: Write>(
-    train: &SpikeTrain,
-    comments: &[&str],
-    mut out: W,
-) -> io::Result<()> {
+pub fn write_aedat<W: Write>(train: &SpikeTrain, comments: &[&str], mut out: W) -> io::Result<()> {
     writeln!(out, "{AEDAT_MAGIC}")?;
     writeln!(out, "# This is a raw AE data file - do not edit")?;
     writeln!(out, "# Data format is int32 address, int32 timestamp (1us), big endian")?;

@@ -14,8 +14,8 @@
 //! tree that favours the sub-tree that last held the token, which can
 //! reorder same-instant events but never starves bounded bursts).
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use serde::{Deserialize, Serialize};
 

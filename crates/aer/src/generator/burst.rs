@@ -202,8 +202,7 @@ mod tests {
             3,
         );
         let train = gen.generate(SimTime::from_secs(2));
-        let max_gap =
-            train.inter_spike_intervals().max().unwrap_or(SimDuration::ZERO);
+        let max_gap = train.inter_spike_intervals().max().unwrap_or(SimDuration::ZERO);
         assert!(
             max_gap > SimDuration::from_ms(40),
             "expected silence gaps of ~100 ms, max gap {max_gap}"
@@ -213,7 +212,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "sojourn")]
     fn zero_sojourn_panics() {
-        let _ =
-            BurstGenerator::new(1_000.0, 0.0, SimDuration::ZERO, SimDuration::from_ms(1), 4, 0);
+        let _ = BurstGenerator::new(1_000.0, 0.0, SimDuration::ZERO, SimDuration::from_ms(1), 4, 0);
     }
 }

@@ -146,8 +146,7 @@ mod tests {
         // For an exponential distribution the coefficient of variation is 1.
         let mut gen = PoissonGenerator::new(100_000.0, 4, 11);
         let train = gen.generate(SimTime::from_ms(200));
-        let isis: Vec<f64> =
-            train.inter_spike_intervals().map(|d| d.as_secs_f64()).collect();
+        let isis: Vec<f64> = train.inter_spike_intervals().map(|d| d.as_secs_f64()).collect();
         let n = isis.len() as f64;
         let mean = isis.iter().sum::<f64>() / n;
         let var = isis.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;

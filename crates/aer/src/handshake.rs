@@ -337,6 +337,21 @@ impl HandshakeSender {
         }
     }
 
+    /// Abandons the in-flight handshake (watchdog recovery path): the
+    /// receiver gave up waiting for the sensor's edges and resets the
+    /// channel. The spike is dropped, `REQ` is considered released,
+    /// and the link recovers normally before the next `REQ` rise.
+    /// Returns the abandoned spike, or `None` if the sender was idle.
+    pub fn abort(&mut self, now: SimTime) -> Option<Spike> {
+        if self.phase == SenderPhase::Idle {
+            return None;
+        }
+        let abandoned = self.in_flight.take().map(|(spike, _)| spike);
+        self.phase = SenderPhase::Idle;
+        self.ready_at = now + self.timing.recovery;
+        abandoned
+    }
+
     /// The sender's timing configuration.
     pub fn timing(&self) -> &HandshakeTiming {
         &self.timing
@@ -477,6 +492,31 @@ mod tests {
         let mut s = HandshakeSender::new(train(&[1, 2]), HandshakeTiming::default());
         s.begin(SimTime::from_ns(1));
         s.begin(SimTime::from_ns(2));
+    }
+
+    #[test]
+    fn abort_resets_the_channel_and_drops_the_spike() {
+        let mut s = HandshakeSender::new(train(&[100, 200]), HandshakeTiming::default());
+        assert_eq!(s.abort(SimTime::from_ns(50)), None, "idle abort is a no-op");
+        s.begin(SimTime::from_ns(100));
+        let dropped = s.abort(SimTime::from_ns(500)).expect("in-flight spike returned");
+        assert_eq!(dropped.time, SimTime::from_ns(100));
+        assert!(!s.is_done(), "second spike still pending");
+        // Recovery applies from the abort instant.
+        assert_eq!(s.next_req_rise(), Some(SimTime::from_ns(510)));
+        s.begin(SimTime::from_ns(510));
+        let req_fall = s.ack_rise(SimTime::from_ns(530));
+        s.ack_fall(SimTime::from_ns(530), req_fall, req_fall + SimDuration::from_ns(20));
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn abort_mid_ack_fall_wait_also_recovers() {
+        let mut s = HandshakeSender::new(train(&[100]), HandshakeTiming::default());
+        s.begin(SimTime::from_ns(100));
+        s.ack_rise(SimTime::from_ns(120));
+        assert!(s.abort(SimTime::from_ns(900)).is_some());
+        assert!(s.is_done());
     }
 
     #[test]

@@ -120,8 +120,7 @@ mod tests {
 
     #[test]
     fn cv_discriminates_workload_classes() {
-        let poisson =
-            PoissonGenerator::new(50_000.0, 8, 4).generate(SimTime::from_ms(500));
+        let poisson = PoissonGenerator::new(50_000.0, 8, 4).generate(SimTime::from_ms(500));
         let bursty = BurstGenerator::new(
             300_000.0,
             100.0,

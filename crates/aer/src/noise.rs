@@ -129,9 +129,7 @@ mod tests {
         // ISI std grows to ~sqrt(2)·sigma for independent jitter.
         let isis: Vec<f64> = noisy.inter_spike_intervals().map(|d| d.as_secs_f64()).collect();
         let mean = isis.iter().sum::<f64>() / isis.len() as f64;
-        let std = (isis.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / isis.len() as f64)
-            .sqrt();
+        let std = (isis.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / isis.len() as f64).sqrt();
         let expected = 2f64.sqrt() * 1e-6;
         assert!((std - expected).abs() / expected < 0.2, "ISI std {std}");
     }

@@ -119,8 +119,7 @@ mod tests {
     fn constant_rate_recovered() {
         let train =
             RegularGenerator::new(SimDuration::from_us(10), 1).generate(SimTime::from_ms(50));
-        let curve =
-            sliding_window_rate(&train, SimDuration::from_ms(5), SimDuration::from_ms(1));
+        let curve = sliding_window_rate(&train, SimDuration::from_ms(5), SimDuration::from_ms(1));
         assert!(!curve.is_empty());
         for p in &curve {
             assert!(
@@ -135,8 +134,7 @@ mod tests {
     #[test]
     fn poisson_rate_recovered_within_noise() {
         let train = PoissonGenerator::new(50_000.0, 16, 9).generate(SimTime::from_ms(200));
-        let curve =
-            sliding_window_rate(&train, SimDuration::from_ms(20), SimDuration::from_ms(10));
+        let curve = sliding_window_rate(&train, SimDuration::from_ms(20), SimDuration::from_ms(10));
         let mean = curve.iter().map(|p| p.rate_hz).sum::<f64>() / curve.len() as f64;
         assert!((mean - 50_000.0).abs() / 50_000.0 < 0.1, "mean rate {mean}");
     }
@@ -157,8 +155,7 @@ mod tests {
     #[test]
     fn curve_times_are_monotonic() {
         let train = PoissonGenerator::new(10_000.0, 4, 2).generate(SimTime::from_ms(100));
-        let curve =
-            sliding_window_rate(&train, SimDuration::from_ms(10), SimDuration::from_ms(3));
+        let curve = sliding_window_rate(&train, SimDuration::from_ms(10), SimDuration::from_ms(3));
         for w in curve.windows(2) {
             assert!(w[1].time > w[0].time);
         }

@@ -229,8 +229,7 @@ impl SpikeTrain {
         &self,
         mut key: impl FnMut(Address) -> K,
     ) -> std::collections::BTreeMap<K, SpikeTrain> {
-        let mut out: std::collections::BTreeMap<K, SpikeTrain> =
-            std::collections::BTreeMap::new();
+        let mut out: std::collections::BTreeMap<K, SpikeTrain> = std::collections::BTreeMap::new();
         for s in &self.spikes {
             out.entry(key(s.addr)).or_default().push(*s);
         }
@@ -276,9 +275,8 @@ impl Extend<Spike> for SpikeTrain {
     fn extend<I: IntoIterator<Item = Spike>>(&mut self, iter: I) {
         let tail_start = self.spikes.len();
         self.spikes.extend(iter);
-        let needs_sort = self.spikes[tail_start.saturating_sub(1)..]
-            .windows(2)
-            .any(|w| w[1].time < w[0].time);
+        let needs_sort =
+            self.spikes[tail_start.saturating_sub(1)..].windows(2).any(|w| w[1].time < w[0].time);
         if needs_sort {
             self.spikes.sort_by_key(|s| s.time);
         }
@@ -383,20 +381,19 @@ mod tests {
 
     #[test]
     fn split_by_partitions_and_preserves_order() {
-        let train = SpikeTrain::from_sorted(vec![
-            spike(1, 0),
-            spike(2, 10),
-            spike(3, 1),
-            spike(4, 11),
-        ])
-        .unwrap();
+        let train =
+            SpikeTrain::from_sorted(vec![spike(1, 0), spike(2, 10), spike(3, 1), spike(4, 11)])
+                .unwrap();
         let parts = train.split_by(|a| a.value() >= 10);
         assert_eq!(parts.len(), 2);
         let lows: Vec<u16> = parts[&false].iter().map(|s| s.addr.value()).collect();
         let highs: Vec<u16> = parts[&true].iter().map(|s| s.addr.value()).collect();
         assert_eq!(lows, vec![0, 1]);
         assert_eq!(highs, vec![10, 11]);
-        assert!(parts[&false].iter().zip(parts[&false].iter().skip(1)).all(|(a, b)| a.time <= b.time));
+        assert!(parts[&false]
+            .iter()
+            .zip(parts[&false].iter().skip(1))
+            .all(|(a, b)| a.time <= b.time));
     }
 
     #[test]

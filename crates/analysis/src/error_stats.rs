@@ -168,10 +168,7 @@ mod tests {
         // 100 kevt/s, little saturation: active.
         assert_eq!(classify_region(100_000.0, 0.01, max_meas, 64, t_min), Region::Active);
         // 600 kevt/s: above 1/(64·66.6ns) ≈ 234 kevt/s -> high-activity.
-        assert_eq!(
-            classify_region(600_000.0, 0.0, max_meas, 64, t_min),
-            Region::HighActivity
-        );
+        assert_eq!(classify_region(600_000.0, 0.0, max_meas, 64, t_min), Region::HighActivity);
         // 10 kevt/s: mean ISI 100 µs, past the 64 µs range but under
         // 2x — still mostly measurable, so active.
         assert_eq!(classify_region(10_000.0, 0.3, max_meas, 64, t_min), Region::Active);

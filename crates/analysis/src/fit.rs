@@ -50,15 +50,11 @@ impl LinearFit {
         if sxx == 0.0 {
             return None;
         }
-        let sxy: f64 =
-            points.iter().map(|&(x, y)| (x - mean_x) * (y - mean_y)).sum();
+        let sxy: f64 = points.iter().map(|&(x, y)| (x - mean_x) * (y - mean_y)).sum();
         let slope = sxy / sxx;
         let intercept = mean_y - slope * mean_x;
         let ss_tot: f64 = points.iter().map(|&(_, y)| (y - mean_y).powi(2)).sum();
-        let ss_res: f64 = points
-            .iter()
-            .map(|&(x, y)| (y - (slope * x + intercept)).powi(2))
-            .sum();
+        let ss_res: f64 = points.iter().map(|&(x, y)| (y - (slope * x + intercept)).powi(2)).sum();
         let r_squared = if ss_tot == 0.0 { 1.0 } else { (1.0 - ss_res / ss_tot).max(0.0) };
         Some(LinearFit { slope, intercept, r_squared, n })
     }

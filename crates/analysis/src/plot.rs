@@ -157,11 +157,8 @@ mod tests {
         p.series("s", vec![(0.0, 1.0), (10.0, 10.0), (100.0, 100.0)]);
         let text = p.render();
         // Two valid points plotted on the canvas (legend excluded).
-        let on_canvas: usize = text
-            .lines()
-            .filter(|l| l.starts_with('|'))
-            .map(|l| l.matches('*').count())
-            .sum();
+        let on_canvas: usize =
+            text.lines().filter(|l| l.starts_with('|')).map(|l| l.matches('*').count()).sum();
         assert_eq!(on_canvas, 2, "{text}");
     }
 
@@ -177,11 +174,8 @@ mod tests {
         p.series("inc", (0..20).map(|i| (i as f64, i as f64)).collect());
         let text = p.render();
         // The glyph on each successive line moves left (higher y first).
-        let cols: Vec<usize> = text
-            .lines()
-            .filter(|l| l.starts_with('|'))
-            .filter_map(|l| l.find('*'))
-            .collect();
+        let cols: Vec<usize> =
+            text.lines().filter(|l| l.starts_with('|')).filter_map(|l| l.find('*')).collect();
         assert!(cols.windows(2).all(|w| w[1] <= w[0]), "cols {cols:?}");
     }
 

@@ -66,14 +66,7 @@ impl Table {
             .headers
             .iter()
             .enumerate()
-            .map(|(i, h)| {
-                self.rows
-                    .iter()
-                    .map(|r| r[i].len())
-                    .chain([h.len()])
-                    .max()
-                    .unwrap_or(0)
-            })
+            .map(|(i, h)| self.rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(0))
             .collect();
         let mut out = String::new();
         let render = |cells: &[String], out: &mut String| {
@@ -104,7 +97,7 @@ impl Table {
             out.push_str(" |\n");
         };
         emit(&self.headers, &mut out);
-        out.push_str("|");
+        out.push('|');
         for _ in &self.headers {
             out.push_str("---|");
         }

@@ -69,9 +69,8 @@ impl CentroidModel {
                 }
                 _ => {}
             }
-            let entry = sums
-                .entry(label)
-                .or_insert_with(|| (vec![0.0; f.profile.len()], 0, 0.0, 0));
+            let entry =
+                sums.entry(label).or_insert_with(|| (vec![0.0; f.profile.len()], 0, 0.0, 0));
             for (acc, p) in entry.0.iter_mut().zip(&f.profile) {
                 *acc += p;
             }
@@ -193,10 +192,7 @@ mod tests {
         let x_a = fv(vec![0.9, 0.1]);
         let x_b = fv(vec![0.2, 0.8]);
         let x_wrong = fv(vec![0.95, 0.05]);
-        let eval = evaluate(
-            &model,
-            vec![("a", &x_a), ("b", &x_b), ("b", &x_wrong)],
-        );
+        let eval = evaluate(&model, vec![("a", &x_a), ("b", &x_b), ("b", &x_wrong)]);
         assert_eq!(eval.total, 3);
         assert_eq!(eval.correct, 2);
         assert!((eval.accuracy() - 2.0 / 3.0).abs() < 1e-12);

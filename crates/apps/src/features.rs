@@ -82,9 +82,8 @@ pub fn extract(train: &SpikeTrain, config: &FeatureConfig) -> FeatureVector {
             *p /= total;
         }
     }
-    let isi_cv = aetr_aer::isi::IsiStats::of(train)
-        .map(|s| s.coefficient_of_variation())
-        .unwrap_or(0.0);
+    let isi_cv =
+        aetr_aer::isi::IsiStats::of(train).map(|s| s.coefficient_of_variation()).unwrap_or(0.0);
     FeatureVector { profile, event_count: train.len(), isi_cv }
 }
 

@@ -37,7 +37,7 @@ pub fn vocabulary() -> Vec<(&'static str, Vec<WordSegment>)> {
                 WordSegment::Noise { secs: 0.08, level: 0.35 }, // /s-t/
                 WordSegment::Silence { secs: 0.03 },
                 WordSegment::Voiced { f1: 500.0, f2: 900.0, secs: 0.12 }, // /o/
-                WordSegment::Noise { secs: 0.04, level: 0.3 },  // /p/
+                WordSegment::Noise { secs: 0.04, level: 0.3 },            // /p/
             ],
         ),
         (
@@ -84,10 +84,8 @@ pub fn features_for(
     match pipeline {
         Pipeline::Raw => extract(train, &cfg),
         Pipeline::Quantized => {
-            let horizon = train
-                .last_time()
-                .unwrap_or(SimTime::ZERO)
-                .saturating_add(SimDuration::from_ms(1));
+            let horizon =
+                train.last_time().unwrap_or(SimTime::ZERO).saturating_add(SimDuration::from_ms(1));
             let out = quantize_train(clock, train, horizon);
             let rebuilt = reconstruct_train(&out.events(), out.base_period, SimTime::ZERO);
             extract(&rebuilt, &cfg)

@@ -107,10 +107,8 @@ pub fn estimate_itd(
         }
     }
 
-    let (best_idx, &peak_score) = scores
-        .iter()
-        .enumerate()
-        .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))?;
+    let (best_idx, &peak_score) =
+        scores.iter().enumerate().max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))?;
     let lag = best_idx as i64 - max_bins;
     Some(ItdEstimate { lag, lag_ps: lag * bin_ps, peak_score })
 }
@@ -238,8 +236,7 @@ mod tests {
             // Attribute each merged event back to its source train by
             // consuming in time order.
             let from_left = li < left.len()
-                && (ri >= right.len()
-                    || left.as_slice()[li].time <= right.as_slice()[ri].time);
+                && (ri >= right.len() || left.as_slice()[li].time <= right.as_slice()[ri].time);
             if from_left {
                 l2.push(*rebuilt_spike);
                 li += 1;

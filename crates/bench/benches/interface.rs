@@ -4,11 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use aetr::fifo::{AetrFifo, FifoConfig};
 use aetr::aetr_format::{AetrEvent, Timestamp};
+use aetr::config_bus::{Register, RegisterFile};
+use aetr::fifo::{AetrFifo, FifoConfig};
 use aetr::interface::{AerToI2sInterface, InterfaceConfig};
 use aetr::spi::{run_frame, write_frame, SpiSlave};
-use aetr::config_bus::{Register, RegisterFile};
 use aetr_aer::address::Address;
 use aetr_aer::generator::{LfsrGenerator, SpikeSource};
 use aetr_sim::time::SimTime;

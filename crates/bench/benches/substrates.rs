@@ -7,11 +7,11 @@ use aetr_aer::arbiter::{arbitrate, ArbiterConfig};
 use aetr_aer::generator::{BurstGenerator, LfsrGenerator, PoissonGenerator, SpikeSource};
 use aetr_aer::handshake::{run_with_fixed_latency, HandshakeTiming};
 use aetr_aer::rate::sliding_window_rate;
-use aetr_dvs::scene::MovingBar;
-use aetr_dvs::sensor::{DvsConfig, DvsSensor};
 use aetr_cochlea::audio::AudioBuffer;
 use aetr_cochlea::filterbank::FilterBank;
 use aetr_cochlea::model::{Cochlea, CochleaConfig};
+use aetr_dvs::scene::MovingBar;
+use aetr_dvs::sensor::{DvsConfig, DvsSensor};
 use aetr_sim::time::{SimDuration, SimTime};
 
 fn bench_generators(c: &mut Criterion) {
@@ -127,9 +127,7 @@ fn bench_apps(c: &mut Criterion) {
 fn bench_rate_estimation(c: &mut Criterion) {
     let train = PoissonGenerator::new(100_000.0, 64, 9).generate(SimTime::from_ms(200));
     c.bench_function("rate/sliding_window", |b| {
-        b.iter(|| {
-            sliding_window_rate(&train, SimDuration::from_ms(20), SimDuration::from_ms(5))
-        })
+        b.iter(|| sliding_window_rate(&train, SimDuration::from_ms(20), SimDuration::from_ms(5)))
     });
 }
 

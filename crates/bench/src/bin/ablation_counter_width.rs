@@ -26,14 +26,12 @@ fn main() {
             counter_bits: bits,
             ..ClockGenConfig::prototype().with_policy(DivisionPolicy::Never)
         };
-        let max =
-            SimDuration::from_ps(cfg.base_sampling_period().as_ps() * cfg.counter_max());
+        let max = SimDuration::from_ps(cfg.base_sampling_period().as_ps() * cfg.counter_max());
         println!("  {bits:>2} bits: {max}");
     }
     println!();
 
-    let mut table =
-        Table::new(vec!["counter bits", "rate (evt/s)", "mean err", "clamped %"]);
+    let mut table = Table::new(vec!["counter bits", "rate (evt/s)", "mean err", "clamped %"]);
     for &bits in &widths {
         let config = ClockGenConfig {
             counter_bits: bits,
@@ -46,10 +44,10 @@ fn main() {
             if samples.is_empty() {
                 continue;
             }
-            let mean_err: f64 = samples.iter().map(|s| s.relative_error()).sum::<f64>()
-                / samples.len() as f64;
-            let clamped = samples.iter().filter(|s| s.saturated).count() as f64
-                / samples.len() as f64;
+            let mean_err: f64 =
+                samples.iter().map(|s| s.relative_error()).sum::<f64>() / samples.len() as f64;
+            let clamped =
+                samples.iter().filter(|s| s.saturated).count() as f64 / samples.len() as f64;
             table.row(vec![
                 bits.to_string(),
                 fmt_sig(rate),
@@ -64,7 +62,6 @@ fn main() {
          22 bits keeps the knee far below any practical sensor rate (paper's choice)."
     );
 
-    let path =
-        write_result("ablation_counter_width.csv", &table.to_csv()).expect("write results");
+    let path = write_result("ablation_counter_width.csv", &table.to_csv()).expect("write results");
     println!("\nCSV written to {}", path.display());
 }

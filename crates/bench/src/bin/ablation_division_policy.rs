@@ -44,13 +44,7 @@ fn main() {
     }
     println!();
 
-    let mut table = Table::new(vec![
-        "policy",
-        "rate (evt/s)",
-        "power (uW)",
-        "mean err",
-        "sat %",
-    ]);
+    let mut table = Table::new(vec!["policy", "rate (evt/s)", "power (uW)", "mean err", "sat %"]);
     for policy in policies {
         let config = ClockGenConfig::prototype().with_policy(policy);
         for (i, &rate) in log_space(100.0, 500_000.0, 8).iter().enumerate() {
@@ -60,8 +54,8 @@ fn main() {
             let samples = isi_error_samples(&out);
             let mean_err: f64 = samples.iter().map(|s| s.relative_error()).sum::<f64>()
                 / samples.len().max(1) as f64;
-            let sat = samples.iter().filter(|s| s.saturated).count() as f64
-                / samples.len().max(1) as f64;
+            let sat =
+                samples.iter().filter(|s| s.saturated).count() as f64 / samples.len().max(1) as f64;
             table.row(vec![
                 policy.to_string(),
                 fmt_sig(rate),

@@ -38,13 +38,8 @@ fn main() {
 
     let mcu = McuPowerModel::stm32l476();
     let span = horizon.saturating_duration_since(SimTime::ZERO);
-    let mut table = Table::new(vec![
-        "watermark",
-        "batches",
-        "MCU always-on",
-        "MCU batched",
-        "saving",
-    ]);
+    let mut table =
+        Table::new(vec!["watermark", "batches", "MCU always-on", "MCU batched", "saving"]);
     for watermark in [16usize, 64, 256, 1_024] {
         let config = InterfaceConfig {
             fifo: FifoConfig { watermark, ..FifoConfig::prototype() },

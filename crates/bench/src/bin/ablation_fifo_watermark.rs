@@ -39,8 +39,7 @@ fn main() {
         };
         let interface = AerToI2sInterface::new(config).expect("valid config");
         let report = interface.run(train.clone(), horizon);
-        let latency = LatencyReport::from_report(&report, &config.i2s)
-            .expect("non-empty run");
+        let latency = LatencyReport::from_report(&report, &config.i2s).expect("non-empty run");
         let bursts = report.fifo_stats.watermark_crossings.max(1);
         table.row(vec![
             watermark.to_string(),
@@ -59,7 +58,6 @@ fn main() {
          buffering events at all), bounded by the 9.2 kB SRAM."
     );
 
-    let path =
-        write_result("ablation_fifo_watermark.csv", &table.to_csv()).expect("write results");
+    let path = write_result("ablation_fifo_watermark.csv", &table.to_csv()).expect("write results");
     println!("\nCSV written to {}", path.display());
 }

@@ -31,12 +31,7 @@ fn main() {
     .generate(SimTime::from_ms(200));
     println!("workload: {} spikes in bursts over 200 ms\n", train.len());
 
-    let mut table = Table::new(vec![
-        "wake latency",
-        "wakes",
-        "mean acq delay (ns)",
-        "power (uW)",
-    ]);
+    let mut table = Table::new(vec!["wake latency", "wakes", "mean acq delay (ns)", "power (uW)"]);
     for wake_ns in [0u64, 50, 100, 500, 2_000, 10_000] {
         let mut config = InterfaceConfig::prototype();
         config.clock.ring = RingOscillatorConfig {
@@ -65,7 +60,6 @@ fn main() {
          paper's) become visible — the paper's negligibility claim holds."
     );
 
-    let path =
-        write_result("ablation_wake_latency.csv", &table.to_csv()).expect("write results");
+    let path = write_result("ablation_wake_latency.csv", &table.to_csv()).expect("write results");
     println!("\nCSV written to {}", path.display());
 }

@@ -31,14 +31,8 @@ fn main() {
     );
 
     let rates = log_space(100.0, 2e6, 25);
-    let mut table = Table::new(vec![
-        "theta_div",
-        "rate (evt/s)",
-        "mean err",
-        "median err",
-        "sat %",
-        "region",
-    ]);
+    let mut table =
+        Table::new(vec!["theta_div", "rate (evt/s)", "mean err", "median err", "sat %", "region"]);
     let mut plot = AsciiPlot::new(64, 20, Scale::Log, Scale::Log);
 
     for &theta in &THETAS {
@@ -51,10 +45,8 @@ fn main() {
         for (i, &rate) in rates.iter().enumerate() {
             let (train, horizon) = poisson_workload(rate, SEED + i as u64, MIN_EVENTS);
             let out = quantize_train(&config, &train, horizon);
-            let samples: Vec<(f64, bool)> = isi_error_samples(&out)
-                .iter()
-                .map(|s| (s.relative_error(), s.saturated))
-                .collect();
+            let samples: Vec<(f64, bool)> =
+                isi_error_samples(&out).iter().map(|s| (s.relative_error(), s.saturated)).collect();
             let Some(summary) = ErrorSummary::of(&samples) else { continue };
             let region = classify_region(rate, summary.saturation_ratio, max_meas, theta, t_min);
             table.row(vec![
@@ -77,10 +69,8 @@ fn main() {
     let proto = ClockGenConfig::prototype();
     let (train, horizon) = poisson_workload(100_000.0, SEED, MIN_EVENTS);
     let out = quantize_train(&proto, &train, horizon);
-    let samples: Vec<(f64, bool)> = isi_error_samples(&out)
-        .iter()
-        .map(|s| (s.relative_error(), s.saturated))
-        .collect();
+    let samples: Vec<(f64, bool)> =
+        isi_error_samples(&out).iter().map(|s| (s.relative_error(), s.saturated)).collect();
     let active = ErrorSummary::of(&samples).expect("non-empty");
     println!(
         "active region check (θ=64, 100 kevt/s): mean error {:.4} (paper bound: < 0.03) -> {}",

@@ -40,28 +40,20 @@ fn main() {
         "word: {} of audio -> {} spikes over {} channels",
         audio.duration(),
         train.len(),
-        train
-            .iter()
-            .map(|s| s.addr.value())
-            .collect::<std::collections::HashSet<_>>()
-            .len()
+        train.iter().map(|s| s.addr.value()).collect::<std::collections::HashSet<_>>().len()
     );
 
     // Raster: address vs time (ms).
     let mut raster = AsciiPlot::new(72, 20, Scale::Linear, Scale::Linear);
     raster.series(
         "spike",
-        train
-            .iter()
-            .map(|s| (s.time.as_secs_f64() * 1e3, s.addr.value() as f64))
-            .collect(),
+        train.iter().map(|s| (s.time.as_secs_f64() * 1e3, s.addr.value() as f64)).collect(),
     );
     println!("raster (x: time ms, y: address):");
     println!("{}", raster.render());
 
     // Event-rate envelope.
-    let rate_curve =
-        sliding_window_rate(&train, SimDuration::from_ms(20), SimDuration::from_ms(5));
+    let rate_curve = sliding_window_rate(&train, SimDuration::from_ms(20), SimDuration::from_ms(5));
     let peak = rate_curve.iter().map(|p| p.rate_hz).fold(0.0f64, f64::max);
     let mut rate_plot = AsciiPlot::new(72, 12, Scale::Linear, Scale::Linear);
     rate_plot.series(
@@ -76,8 +68,8 @@ fn main() {
     for &theta in &THETAS {
         let config = ClockGenConfig::prototype().with_theta_div(theta);
         let out = quantize_train(&config, &train, horizon);
-        let mut hist = Histogram::new(Binning::Linear { lo: 0.0, hi: 0.12, bins: 12 })
-            .expect("valid binning");
+        let mut hist =
+            Histogram::new(Binning::Linear { lo: 0.0, hi: 0.12, bins: 12 }).expect("valid binning");
         let samples = isi_error_samples(&out);
         hist.extend(samples.iter().map(|s| s.relative_error()));
         let probs = hist.probabilities();

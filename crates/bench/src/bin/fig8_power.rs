@@ -145,10 +145,7 @@ fn main() {
         "division-only saving @30 kevt/s: {:.0}%   (paper: up to 55% from division alone)",
         saving_division_only * 100.0
     );
-    println!(
-        "division+shutdown saving @5 kevt/s: {:.0}%",
-        saving_full * 100.0
-    );
+    println!("division+shutdown saving @5 kevt/s: {:.0}%", saving_full * 100.0);
     println!("idle power factor:   {idle_factor:.0}x   (paper: ~90x)");
 
     // Least-squares fit over the high-activity region, where the

@@ -53,11 +53,7 @@ fn main() {
     row("naive baseline", "stuck at 4.5 mW", format!("{:.2} mW @ 1 kevt/s", p_naive / 1e3));
     row("scaling factor", "90x", format!("{:.0}x", p_noisy / p_idle));
     row("timestamp accuracy", "> 97%", format!("{:.1}%", acc * 100.0));
-    row(
-        "min inter-spike time",
-        "130 ns",
-        proto.min_resolvable_interval().to_string(),
-    );
+    row("min inter-spike time", "130 ns", proto.min_resolvable_interval().to_string());
     row("wake latency", "~100 ns", proto.ring.wake_latency.to_string());
     row(
         "resource utilization",

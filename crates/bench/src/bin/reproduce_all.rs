@@ -48,8 +48,7 @@ fn fig2(md: &mut String) {
     println!("fig2: waveform...");
     let config = ClockGenConfig::prototype().with_theta_div(8).with_n_div(3);
     let wave = record_waveform(&config, &[], SimTime::from_us(20));
-    let mults: Vec<String> =
-        wave.divisions.iter().map(|&(_, m)| m.to_string()).collect();
+    let mults: Vec<String> = wave.divisions.iter().map(|&(_, m)| m.to_string()).collect();
     let _ = writeln!(md, "## Figure 2 — divided clock waveform (θ=8, N=3)\n");
     let _ = writeln!(md, "* rising edges before shutdown: {}", wave.rising_edges().len());
     let _ = writeln!(md, "* division sequence: {} (paper: 2, 4, 8)", mults.join(", "));
@@ -91,9 +90,8 @@ fn fig6(md: &mut String) {
 fn fig7(md: &mut String) {
     println!("fig7: cochlea word...");
     let audio = aetr_cochlea::word::fig7_word(16_000, 0xF17);
-    let mut cochlea =
-        aetr_cochlea::model::Cochlea::new(aetr_cochlea::model::CochleaConfig::das1())
-            .expect("valid config");
+    let mut cochlea = aetr_cochlea::model::Cochlea::new(aetr_cochlea::model::CochleaConfig::das1())
+        .expect("valid config");
     let train = cochlea.process(&audio);
     let horizon = SimTime::ZERO + audio.duration();
     let _ = writeln!(md, "## Figure 7 — cochlea word\n");
@@ -102,8 +100,7 @@ fn fig7(md: &mut String) {
         let out =
             quantize_train(&ClockGenConfig::prototype().with_theta_div(theta), &train, horizon);
         let s = isi_error_samples(&out);
-        let low = s.iter().filter(|e| e.relative_error() < 0.03).count() as f64
-            / s.len() as f64;
+        let low = s.iter().filter(|e| e.relative_error() < 0.03).count() as f64 / s.len() as f64;
         let _ = writeln!(md, "* θ={theta}: P(err < 3%) = {low:.2}");
     }
     let _ = writeln!(md, "\nPaper trend: increasing θ_div shifts error mass toward zero. ✔\n");

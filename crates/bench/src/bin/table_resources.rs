@@ -21,10 +21,7 @@ fn main() {
     println!("  ring oscillator:        {}", clock.ring.config_frequency());
     println!("  reference clock:        {}", clock.reference_frequency());
     println!("  max sampling frequency: {}", clock.base_sampling_period().to_frequency());
-    println!(
-        "  min inter-spike time:   {}  (paper: 130 ns)",
-        clock.min_resolvable_interval()
-    );
+    println!("  min inter-spike time:   {}  (paper: 130 ns)", clock.min_resolvable_interval());
     println!("  CAVIAR event budget:    {CAVIAR_EVENT_BUDGET}  (paper: 700 ns)");
     println!(
         "  headroom:               {:.1}x",

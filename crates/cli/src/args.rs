@@ -69,9 +69,8 @@ impl ParsedArgs {
         let mut iter = tokens.into_iter();
         while let Some(tok) = iter.next() {
             if let Some(flag) = tok.strip_prefix("--") {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| ArgsError::MissingValue { flag: flag.to_owned() })?;
+                let value =
+                    iter.next().ok_or_else(|| ArgsError::MissingValue { flag: flag.to_owned() })?;
                 out.options.insert(flag.to_owned(), value);
             } else if out.command.is_none() {
                 out.command = Some(tok);

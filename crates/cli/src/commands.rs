@@ -35,6 +35,10 @@ USAGE:
   aetr-cli record   <file.aedat> --rate <evt/s> [--duration-ms N] [--seed N]
                     [--generator poisson|lfsr|word]
   aetr-cli sweep    [--points N] [--theta N]
+  aetr-cli faults   [--points N] [--rate <evt/s>] [--duration-ms N]
+                    [--surface protocol|datapath|all] [--seed N]
+                    [--min-fault-rate P] [--max-fault-rate P]
+                    (fault-rate sweep: accuracy/power degradation curves)
   aetr-cli waveform [--theta N] [--ndiv N] [--out file.vcd]
   aetr-cli resources
 
@@ -54,6 +58,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
         Some("replay") => cmd_replay(args),
         Some("record") => cmd_record(args),
         Some("sweep") => cmd_sweep(args),
+        Some("faults") => cmd_faults(args),
         Some("waveform") => cmd_waveform(args),
         Some("resources") => Ok(UtilizationReport::prototype().to_string()),
         _ => Err(USAGE.into()),
@@ -76,10 +81,8 @@ fn clock_config(args: &ParsedArgs) -> Result<ClockGenConfig, Box<dyn Error>> {
             }))
         }
     };
-    let config = ClockGenConfig::prototype()
-        .with_theta_div(theta)
-        .with_n_div(ndiv)
-        .with_policy(policy);
+    let config =
+        ClockGenConfig::prototype().with_theta_div(theta).with_n_div(ndiv).with_policy(policy);
     config.validate()?;
     Ok(config)
 }
@@ -160,7 +163,8 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
 
     let mut text = String::new();
     use std::fmt::Write as _;
-    let _ = writeln!(text, "full DES run: {n} events at {} evt/s over {duration_ms} ms", fmt_sig(rate));
+    let _ =
+        writeln!(text, "full DES run: {n} events at {} evt/s over {duration_ms} ms", fmt_sig(rate));
     let _ = writeln!(text, "power:  {}", report.power.total);
     let _ = writeln!(text, "wakes:  {}", report.wake_count);
     let _ = writeln!(text, "fifo:   {}", report.fifo_stats);
@@ -177,10 +181,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
 }
 
 fn cmd_record(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
-    let path = args
-        .positional
-        .first()
-        .ok_or("record needs an output .aedat file argument")?;
+    let path = args.positional.first().ok_or("record needs an output .aedat file argument")?;
     let duration_ms: u64 = args.get_or("duration-ms", 100, "integer")?;
     let seed: u64 = args.get_or("seed", 1, "integer")?;
     let horizon = SimTime::from_ms(duration_ms);
@@ -188,7 +189,10 @@ fn cmd_record(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
     let (train, label) = match generator {
         "poisson" => {
             let rate: f64 = args.require("rate", "number")?;
-            (PoissonGenerator::new(rate, 64, seed).generate(horizon), format!("poisson {rate} evt/s"))
+            (
+                PoissonGenerator::new(rate, 64, seed).generate(horizon),
+                format!("poisson {rate} evt/s"),
+            )
         }
         "lfsr" => {
             let rate: f64 = args.require("rate", "number")?;
@@ -217,16 +221,11 @@ fn cmd_record(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
 }
 
 fn cmd_replay(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
-    let path = args
-        .positional
-        .first()
-        .ok_or("replay needs a .aedat file argument")?;
+    let path = args.positional.first().ok_or("replay needs a .aedat file argument")?;
     let bytes = fs::read(path)?;
     let train = aedat::read_aedat(&bytes[..])?;
-    let horizon = train
-        .last_time()
-        .unwrap_or(SimTime::ZERO)
-        .saturating_add(SimDuration::from_ms(1));
+    let horizon =
+        train.last_time().unwrap_or(SimTime::ZERO).saturating_add(SimDuration::from_ms(1));
     let config = clock_config(args)?;
     Ok(format!(
         "replaying {path}: {} events over {}\n{}",
@@ -247,8 +246,8 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
         let train = PoissonGenerator::new(rate, 64, 10 + i as u64).generate(horizon);
         let out = quantize_train(&config, &train, horizon);
         let samples = isi_error_samples(&out);
-        let mean_err = samples.iter().map(|s| s.relative_error()).sum::<f64>()
-            / samples.len().max(1) as f64;
+        let mean_err =
+            samples.iter().map(|s| s.relative_error()).sum::<f64>() / samples.len().max(1) as f64;
         let sat = out.records.iter().filter(|r| r.saturated).count() as f64
             / out.records.len().max(1) as f64;
         let power = model.evaluate(&out.activity).total;
@@ -260,6 +259,69 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
         ]);
     }
     Ok(table.to_ascii())
+}
+
+fn cmd_faults(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    use aetr::campaign::{CampaignConfig, FaultCampaign, FaultSurface};
+    use aetr::interface::InterfaceConfig;
+
+    let points: usize = args.get_or("points", 7, "integer")?;
+    let rate: f64 = args.get_or("rate", 50_000.0, "number")?;
+    let duration_ms: u64 = args.get_or("duration-ms", 10, "integer")?;
+    let seed: u64 = args.get_or("seed", 1, "integer")?;
+    let lo: f64 = args.get_or("min-fault-rate", 1e-4, "number")?;
+    let hi: f64 = args.get_or("max-fault-rate", 0.3, "number")?;
+    if !(lo > 0.0 && lo < hi) {
+        return Err(format!("fault-rate range needs 0 < min < max, got [{lo}, {hi}]").into());
+    }
+    let surface: FaultSurface = args
+        .get_str("surface")
+        .unwrap_or("all")
+        .parse()
+        .map_err(|e: String| -> Box<dyn Error> { e.into() })?;
+
+    let config = CampaignConfig {
+        interface: InterfaceConfig { clock: clock_config(args)?, ..InterfaceConfig::prototype() },
+        event_rate_hz: rate,
+        duration: SimDuration::from_ms(duration_ms),
+        fault_seed: seed,
+        surface,
+        ..CampaignConfig::default()
+    };
+    let campaign = FaultCampaign::new(config)?;
+    let result = campaign.run(&log_space(lo, hi, points.max(2)));
+
+    let mut table = Table::new(vec![
+        "fault rate",
+        "accuracy %",
+        "loss %",
+        "power (uW)",
+        "power ratio",
+        "faults",
+        "recovered",
+        "degraded",
+    ]);
+    for p in &result.points {
+        table.row(vec![
+            fmt_sig(p.fault_rate),
+            format!("{:.2}", p.accuracy * 100.0),
+            format!("{:.2}", p.loss_ratio * 100.0),
+            format!("{:.1}", p.power_uw),
+            format!("{:.3}", p.power_ratio),
+            p.health.faults_injected().to_string(),
+            p.health.acks_recovered.to_string(),
+            if p.health.degraded { "yes".into() } else { "no".into() },
+        ]);
+    }
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "baseline: accuracy {:.2}%, power {:.1} uW ({surface:?} faults, seed {seed})",
+        result.baseline_accuracy * 100.0,
+        result.baseline_power_uw,
+    );
+    text.push_str(&table.to_ascii());
+    Ok(text)
 }
 
 fn cmd_waveform(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
@@ -322,14 +384,59 @@ mod tests {
     }
 
     #[test]
+    fn faults_sweep_reports_degradation_curve() {
+        let text = run_line(&[
+            "faults",
+            "--points",
+            "3",
+            "--rate",
+            "30000",
+            "--duration-ms",
+            "5",
+            "--max-fault-rate",
+            "0.2",
+        ])
+        .unwrap();
+        assert!(text.contains("baseline: accuracy"), "{text}");
+        assert!(text.contains("fault rate"), "{text}");
+        assert_eq!(text.lines().count(), 6, "{text}"); // baseline + header + rule + 3 rows
+                                                       // Deterministic: running the identical line again reproduces it.
+        let again = run_line(&[
+            "faults",
+            "--points",
+            "3",
+            "--rate",
+            "30000",
+            "--duration-ms",
+            "5",
+            "--max-fault-rate",
+            "0.2",
+        ])
+        .unwrap();
+        assert_eq!(text, again);
+    }
+
+    #[test]
+    fn faults_rejects_unknown_surface() {
+        let err = run_line(&["faults", "--surface", "cosmic"]).unwrap_err();
+        assert!(err.to_string().contains("cosmic"), "{err}");
+    }
+
+    #[test]
+    fn faults_rejects_inverted_rate_range() {
+        let err = run_line(&["faults", "--min-fault-rate", "0.5", "--max-fault-rate", "0.001"])
+            .unwrap_err();
+        assert!(err.to_string().contains("0 < min < max"), "{err}");
+    }
+
+    #[test]
     fn replay_roundtrips_an_aedat_file() {
         let train = PoissonGenerator::new(20_000.0, 64, 9).generate(SimTime::from_ms(50));
         let mut bytes = Vec::new();
         aedat::write_aedat(&train, &["cli test"], &mut bytes).unwrap();
         let dir = std::env::temp_dir().join("aetr_cli_test.aedat");
         fs::write(&dir, &bytes).unwrap();
-        let text =
-            run_line(&["replay", dir.to_str().unwrap(), "--theta", "32"]).unwrap();
+        let text = run_line(&["replay", dir.to_str().unwrap(), "--theta", "32"]).unwrap();
         assert!(text.contains("replaying"), "{text}");
         assert!(text.contains("theta_div=32"), "{text}");
         let _ = fs::remove_file(dir);
@@ -338,8 +445,7 @@ mod tests {
     #[test]
     fn waveform_writes_vcd() {
         let out = std::env::temp_dir().join("aetr_cli_test.vcd");
-        let text =
-            run_line(&["waveform", "--out", out.to_str().unwrap()]).unwrap();
+        let text = run_line(&["waveform", "--out", out.to_str().unwrap()]).unwrap();
         assert!(text.contains("divisions"), "{text}");
         let vcd = fs::read_to_string(&out).unwrap();
         assert!(vcd.contains("$timescale"));
@@ -350,8 +456,7 @@ mod tests {
     fn record_then_replay_roundtrip() {
         let path = std::env::temp_dir().join("aetr_cli_record.aedat");
         let p = path.to_str().unwrap();
-        let text =
-            run_line(&["record", p, "--rate", "30000", "--duration-ms", "40"]).unwrap();
+        let text = run_line(&["record", p, "--rate", "30000", "--duration-ms", "40"]).unwrap();
         assert!(text.contains("recorded"), "{text}");
         let text = run_line(&["replay", p]).unwrap();
         assert!(text.contains("replaying"), "{text}");
@@ -369,8 +474,7 @@ mod tests {
 
     #[test]
     fn full_des_run_reports_everything() {
-        let text =
-            run_line(&["run", "--rate", "100000", "--duration-ms", "5"]).unwrap();
+        let text = run_line(&["run", "--rate", "100000", "--duration-ms", "5"]).unwrap();
         assert!(text.contains("power:"), "{text}");
         assert!(text.contains("latency:"), "{text}");
         assert!(text.contains("i2s:"), "{text}");

@@ -114,6 +114,22 @@ impl ClockGenConfig {
         self
     }
 
+    /// The degraded-mode configuration a watchdog falls back to when
+    /// oscillator wakes become untrustworthy: `N_div` clamped to
+    /// `n_div_clamp` and the policy forced to
+    /// [`DivideOnly`](DivisionPolicy::DivideOnly), so the clock
+    /// plateaus at its slowest division instead of ever shutting down.
+    /// Power proportionality is sacrificed for timestamp coherence;
+    /// the ring and prescaler (synthesis-time properties) are kept, so
+    /// the result is always accepted by a runtime reconfiguration.
+    pub fn degraded_fallback(&self, n_div_clamp: u32) -> ClockGenConfig {
+        ClockGenConfig {
+            n_div: self.n_div.min(n_div_clamp),
+            policy: DivisionPolicy::DivideOnly,
+            ..*self
+        }
+    }
+
     /// The reference clock frequency (ring output through the
     /// prescaler).
     pub fn reference_frequency(&self) -> Frequency {
@@ -296,6 +312,19 @@ mod tests {
             ..base
         };
         assert!(matches!(bad_ring.validate(), Err(ClockGenConfigError::Ring(_))));
+    }
+
+    #[test]
+    fn degraded_fallback_clamps_and_never_sleeps() {
+        let cfg = ClockGenConfig::prototype(); // N=3, recursive
+        let degraded = cfg.degraded_fallback(1);
+        assert_eq!(degraded.n_div, 1);
+        assert_eq!(degraded.policy, DivisionPolicy::DivideOnly);
+        assert_eq!(degraded.base_sampling_period(), cfg.base_sampling_period());
+        degraded.validate().unwrap();
+        // A clamp above the configured N_div changes only the policy.
+        let loose = cfg.degraded_fallback(10);
+        assert_eq!(loose.n_div, 3);
     }
 
     #[test]

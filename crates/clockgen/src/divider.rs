@@ -106,10 +106,7 @@ mod tests {
         let chain = DividerChain::new(2).unwrap();
         assert_eq!(chain.ratio(), 4);
         assert_eq!(chain.output(Frequency::from_mhz(120)), Frequency::from_mhz(30));
-        assert_eq!(
-            chain.output_period(SimDuration::from_ps(8_333)),
-            SimDuration::from_ps(33_332)
-        );
+        assert_eq!(chain.output_period(SimDuration::from_ps(8_333)), SimDuration::from_ps(33_332));
     }
 
     #[test]

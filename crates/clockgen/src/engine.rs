@@ -274,8 +274,7 @@ mod tests {
     fn activity_covers_whole_horizon() {
         let cfg = proto();
         let horizon = SimTime::from_ms(50);
-        let requests: Vec<SimTime> =
-            (1..=100).map(|i| SimTime::from_us(i * 400)).collect();
+        let requests: Vec<SimTime> = (1..=100).map(|i| SimTime::from_us(i * 400)).collect();
         let (_, report) = quantize_requests(&cfg, &requests, horizon);
         let total = report.usage.total();
         // The accounted time equals the horizon, minus only the wake

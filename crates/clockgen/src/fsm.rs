@@ -187,6 +187,16 @@ impl SamplerFsm {
         frozen
     }
 
+    /// Forces the clock off regardless of FSM state — a stuck
+    /// oscillator fault, not a policy decision. The counter freezes at
+    /// its current value exactly as in a normal shutdown, so a later
+    /// [`wake`](SamplerFsm::wake) delivers a coherent (if saturated)
+    /// timestamp. Idempotent: forcing an already-stopped clock does
+    /// nothing.
+    pub fn force_shutdown(&mut self) {
+        self.asleep = true;
+    }
+
     fn reset_measurement(&mut self) {
         self.counter = 0;
         self.cnt_sample = 0;
@@ -393,13 +403,24 @@ mod tests {
     }
 
     #[test]
+    fn force_shutdown_freezes_counter_for_wake() {
+        let mut fsm = SamplerFsm::new(&cfg());
+        for _ in 0..5 {
+            fsm.on_tick(false);
+        }
+        let frozen = fsm.counter();
+        fsm.force_shutdown();
+        assert!(fsm.is_asleep());
+        fsm.force_shutdown(); // idempotent
+        assert_eq!(fsm.wake(), frozen, "wake delivers the frozen counter");
+        assert!(!fsm.is_asleep());
+    }
+
+    #[test]
     #[should_panic(expected = "synthesis time")]
     fn reconfigure_cannot_change_base_period() {
         let mut fsm = SamplerFsm::new(&cfg());
-        let other_ring = ClockGenConfig {
-            prescaler_stages: 3,
-            ..cfg()
-        };
+        let other_ring = ClockGenConfig { prescaler_stages: 3, ..cfg() };
         fsm.reconfigure(&other_ring);
     }
 
@@ -481,10 +502,8 @@ mod tests {
         }
         match table.tail() {
             crate::segments::Tail::Infinite { multiplier } => {
-                let start = table.segments().last().map_or(
-                    aetr_sim::time::SimDuration::ZERO,
-                    |s| s.end,
-                );
+                let start =
+                    table.segments().last().map_or(aetr_sim::time::SimDuration::ZERO, |s| s.end);
                 start + table.base_period().saturating_mul(multiplier * remaining)
             }
             crate::segments::Tail::Shutdown => {

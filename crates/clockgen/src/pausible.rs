@@ -118,15 +118,18 @@ impl PausiblePort {
         if gap < self.config.danger_window {
             // Contended: the clock loses the mutex and the edge
             // stretches. Depth of collision -> resolution time.
-            let depth = 1.0
-                - gap.as_ps() as f64 / self.config.danger_window.as_ps().max(1) as f64;
+            let depth = 1.0 - gap.as_ps() as f64 / self.config.danger_window.as_ps().max(1) as f64;
             let stretch = SimDuration::from_ps(
                 (self.config.max_stretch.as_ps() as f64 * depth).round() as u64,
             );
             let capturing_edge = next_edge + stretch;
             SyncOutcome { latched_at: capturing_edge, capturing_edge, stretch }
         } else {
-            SyncOutcome { latched_at: next_edge, capturing_edge: next_edge, stretch: SimDuration::ZERO }
+            SyncOutcome {
+                latched_at: next_edge,
+                capturing_edge: next_edge,
+                stretch: SimDuration::ZERO,
+            }
         }
     }
 
@@ -206,10 +209,7 @@ mod tests {
             let request = SimTime::from_ps(offset_ps);
             let out = p.synchronize(request);
             let latency = out.latched_at - request;
-            assert!(
-                latency <= p.worst_case_latency(),
-                "latency {latency} at offset {offset_ps}"
-            );
+            assert!(latency <= p.worst_case_latency(), "latency {latency} at offset {offset_ps}");
             assert!(out.latched_at >= request);
         }
     }

@@ -117,10 +117,9 @@ impl fmt::Display for RingOscillatorError {
                 write!(f, "ring oscillator needs an odd stage count >= 3, got {stages}")
             }
             RingOscillatorError::ZeroStageDelay => write!(f, "stage delay must be non-zero"),
-            RingOscillatorError::SleepPulseTooShort { pulse, semi_period } => write!(
-                f,
-                "sleep pulse {pulse} must exceed the clock semi-period {semi_period}"
-            ),
+            RingOscillatorError::SleepPulseTooShort { pulse, semi_period } => {
+                write!(f, "sleep pulse {pulse} must exceed the clock semi-period {semi_period}")
+            }
         }
     }
 }

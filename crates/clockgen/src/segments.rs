@@ -119,8 +119,7 @@ impl SegmentTable {
         let mut offset = SimDuration::ZERO;
         for &m in finite {
             let len = base.saturating_mul(m).saturating_mul(theta);
-            let seg =
-                Segment { multiplier: m, ticks: theta, start: offset, end: offset + len };
+            let seg = Segment { multiplier: m, ticks: theta, start: offset, end: offset + len };
             offset = seg.end;
             segments.push(seg);
         }
@@ -145,9 +144,7 @@ impl SegmentTable {
     /// Offset at which the clock shuts down, if it ever does.
     pub fn shutdown_offset(&self) -> Option<SimDuration> {
         match self.tail {
-            Tail::Shutdown => {
-                Some(self.segments.last().map_or(SimDuration::ZERO, |s| s.end))
-            }
+            Tail::Shutdown => Some(self.segments.last().map_or(SimDuration::ZERO, |s| s.end)),
             Tail::Infinite { .. } => None,
         }
     }
@@ -222,9 +219,7 @@ impl SegmentTable {
         if until > tail_start {
             match self.tail {
                 Tail::Shutdown => usage.off += until - tail_start,
-                Tail::Infinite { multiplier } => {
-                    usage.add_active(multiplier, until - tail_start)
-                }
+                Tail::Infinite { multiplier } => usage.add_active(multiplier, until - tail_start),
             }
         }
         usage

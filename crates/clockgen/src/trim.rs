@@ -62,10 +62,7 @@ impl PvtPoint {
     pub fn apply(&self, nominal: &RingOscillatorConfig) -> RingOscillatorConfig {
         let factor = self.delay_factor();
         let ps = (nominal.stage_delay.as_ps() as f64 * factor).round().max(1.0) as u64;
-        RingOscillatorConfig {
-            stage_delay: aetr_sim::time::SimDuration::from_ps(ps),
-            ..*nominal
-        }
+        RingOscillatorConfig { stage_delay: aetr_sim::time::SimDuration::from_ps(ps), ..*nominal }
     }
 }
 
@@ -174,8 +171,7 @@ mod tests {
         let corner = PvtPoint { vdd: 1.08, temp_c: 85.0 };
         let drifted = corner.apply(&nominal).period().to_frequency();
         let target = Frequency::from_mhz(120);
-        let drift_err =
-            (drifted.as_hz_f64() - target.as_hz_f64()).abs() / target.as_hz_f64();
+        let drift_err = (drifted.as_hz_f64() - target.as_hz_f64()).abs() / target.as_hz_f64();
         let trimmed = trim_to_target(&nominal, target, corner, 3, 41);
         assert!(trimmed.error < drift_err, "trim {:.4} vs drift {:.4}", trimmed.error, drift_err);
         assert!(trimmed.stages < nominal.stages, "hot+slow corner needs fewer stages");

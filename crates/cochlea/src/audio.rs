@@ -163,11 +163,8 @@ mod tests {
         let sr = 16_000;
         let tone = AudioBuffer::tone(sr, 1_000.0, 1.0, 0.1);
         // Count zero crossings: ~2 per cycle -> 2 * 1000 * 0.1 = 200.
-        let crossings = tone
-            .samples()
-            .windows(2)
-            .filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0))
-            .count();
+        let crossings =
+            tone.samples().windows(2).filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0)).count();
         assert!((195..=205).contains(&crossings), "crossings {crossings}");
     }
 

@@ -164,9 +164,8 @@ mod tests {
     #[test]
     fn log_spacing_is_geometric() {
         let bank = FilterBank::log_spaced(16_000, 5, 100.0, 1_600.0, 4.0);
-        let ratios: Vec<f64> = (1..5)
-            .map(|i| bank.center_frequency(i) / bank.center_frequency(i - 1))
-            .collect();
+        let ratios: Vec<f64> =
+            (1..5).map(|i| bank.center_frequency(i) / bank.center_frequency(i - 1)).collect();
         for r in &ratios {
             assert!((r - 2.0).abs() < 1e-9, "ratio {r}");
         }

@@ -110,10 +110,9 @@ impl fmt::Display for CochleaConfigError {
             CochleaConfigError::NoChannels => {
                 write!(f, "cochlea needs at least one channel and one neuron per channel")
             }
-            CochleaConfigError::TooManyChannels { channels } => write!(
-                f,
-                "{channels} channels per ear exceeds the 10-bit binaural address space"
-            ),
+            CochleaConfigError::TooManyChannels { channels } => {
+                write!(f, "{channels} channels per ear exceeds the 10-bit binaural address space")
+            }
         }
     }
 }
@@ -226,10 +225,7 @@ impl Cochlea {
                         // Sub-sample interpolation keeps channels from
                         // snapping to the audio grid.
                         let offset = (frac * dt_ps as f64).round() as u64;
-                        spikes.push(Spike::new(
-                            SimTime::from_ps(i as u64 * dt_ps + offset),
-                            addr,
-                        ));
+                        spikes.push(Spike::new(SimTime::from_ps(i as u64 * dt_ps + offset), addr));
                     }
                 }
             }
@@ -264,8 +260,8 @@ mod tests {
             .iter()
             .filter(|s| {
                 let (_, ch, _) = c.decode_address(s.addr).unwrap();
-                let f = FilterBank::log_spaced(16_000, 64, 100.0, 6_000.0, 5.0)
-                    .center_frequency(ch);
+                let f =
+                    FilterBank::log_spaced(16_000, 64, 100.0, 6_000.0, 5.0).center_frequency(ch);
                 (500.0..2_000.0).contains(&f)
             })
             .count();

@@ -94,8 +94,7 @@ impl IntegrateFireNeuron {
         }
         let rectified = x.max(0.0); // half-wave rectification
         let before = self.potential;
-        let after = before
-            + (self.config.gain * rectified - self.config.leak * before) * dt_secs;
+        let after = before + (self.config.gain * rectified - self.config.leak * before) * dt_secs;
         self.potential = after;
         if after >= self.config.threshold {
             let rise = after - before;

@@ -135,10 +135,8 @@ mod tests {
         // First 80 ms are silence, the /e/ around 250 ms is loud.
         let head = &word.samples()[..sr * 8 / 100];
         let vowel = &word.samples()[sr * 22 / 100..sr * 28 / 100];
-        let head_rms =
-            (head.iter().map(|s| s * s).sum::<f64>() / head.len() as f64).sqrt();
-        let vowel_rms =
-            (vowel.iter().map(|s| s * s).sum::<f64>() / vowel.len() as f64).sqrt();
+        let head_rms = (head.iter().map(|s| s * s).sum::<f64>() / head.len() as f64).sqrt();
+        let vowel_rms = (vowel.iter().map(|s| s * s).sum::<f64>() / vowel.len() as f64).sqrt();
         assert!(head_rms < 1e-9, "leading silence rms {head_rms}");
         assert!(vowel_rms > 0.05, "vowel rms {vowel_rms}");
     }
@@ -152,11 +150,7 @@ mod tests {
             0,
         );
         // Count zero crossings: dominated by ~600 Hz content.
-        let crossings = seg
-            .samples()
-            .windows(2)
-            .filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0))
-            .count();
+        let crossings = seg.samples().windows(2).filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0)).count();
         let implied_hz = crossings as f64 / 2.0 / 0.2;
         assert!((400.0..900.0).contains(&implied_hz), "implied {implied_hz} Hz");
     }

@@ -33,9 +33,7 @@ pub const TIMESTAMP_BITS: u32 = 22;
 pub const TIMESTAMP_MAX: u32 = (1 << TIMESTAMP_BITS) - 1;
 
 /// The timestamp field: an inter-event delta in `T_min` ticks.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Timestamp(u32);
 
 impl Timestamp {
@@ -160,10 +158,7 @@ pub fn decode_stream(bytes: &[u8]) -> Result<Vec<AetrEvent>, DecodeLengthError> 
     if !bytes.len().is_multiple_of(4) {
         return Err(DecodeLengthError { len: bytes.len() });
     }
-    Ok(bytes
-        .chunks_exact(4)
-        .map(|c| AetrEvent::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect())
+    Ok(bytes.chunks_exact(4).map(|c| AetrEvent::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
 }
 
 /// Encodes events into a contiguous little-endian byte stream.
@@ -187,8 +182,7 @@ mod tests {
     fn roundtrip_all_field_extremes() {
         for addr in [0u16, 1, 512, 1023] {
             for ticks in [0u64, 1, 1 << 21, (1 << 22) - 1] {
-                let ev =
-                    AetrEvent::new(Address::new(addr).unwrap(), Timestamp::from_ticks(ticks));
+                let ev = AetrEvent::new(Address::new(addr).unwrap(), Timestamp::from_ticks(ticks));
                 assert_eq!(AetrEvent::from_word(ev.to_word()), ev);
                 assert_eq!(AetrEvent::from_le_bytes(ev.to_le_bytes()), ev);
             }

@@ -188,6 +188,17 @@ pub struct CdcFifo<T> {
     last_read: SimTime,
     /// Pushes refused because the (conservative) full flag was up.
     pub refused_full: u64,
+    /// Pending single-event upset on the *write* pointer as the reader
+    /// sees it (bit index in Gray space); cleared by the next read-side
+    /// access.
+    upset_write_ptr_bit: Option<u32>,
+    /// Pending single-event upset on the *read* pointer as the writer
+    /// sees it; cleared by the next write-side access.
+    upset_read_ptr_bit: Option<u32>,
+    /// Times a corrupted pointer view disagreed with physical storage
+    /// and the hardened full/empty detectors refused the access
+    /// (phantom pops refused, physical-full pushes refused).
+    pub upset_anomalies: u64,
 }
 
 impl<T> CdcFifo<T> {
@@ -206,7 +217,43 @@ impl<T> CdcFifo<T> {
             last_write: SimTime::ZERO,
             last_read: SimTime::ZERO,
             refused_full: 0,
+            upset_write_ptr_bit: None,
+            upset_read_ptr_bit: None,
+            upset_anomalies: 0,
         })
+    }
+
+    /// Number of bits in a crossing pointer (the `2N` Gray space).
+    pub fn pointer_bits(&self) -> u32 {
+        (2 * self.config.depth as u64).trailing_zeros()
+    }
+
+    /// Injects a single-event upset into the write pointer *as the
+    /// read domain sees it*: bit `bit` (mod [`pointer_bits`]
+    /// (Self::pointer_bits)) of the Gray-coded pointer on the crossing
+    /// wires flips for the next read-side access, then the correct
+    /// value re-latches.
+    pub fn upset_write_pointer(&mut self, bit: u32) {
+        self.upset_write_ptr_bit = Some(bit % self.pointer_bits());
+    }
+
+    /// Injects a single-event upset into the read pointer as the
+    /// *write* domain sees it (see [`upset_write_pointer`]
+    /// (Self::upset_write_pointer)).
+    pub fn upset_read_pointer(&mut self, bit: u32) {
+        self.upset_read_ptr_bit = Some(bit % self.pointer_bits());
+    }
+
+    /// A pointer value with one Gray-space bit flipped, re-anchored to
+    /// the raw value's wrap epoch. Because Gray neighbours differ in
+    /// one bit, a flipped bit decodes to *some* valid pointer — wrong
+    /// by an arbitrary amount, never an invalid code.
+    fn corrupted(&self, raw: u64, bit: u32) -> u64 {
+        let span = 2 * self.config.depth as u64;
+        let wrapped = (raw % span) as u32;
+        let gray = binary_to_gray(wrapped) ^ (1 << bit);
+        let decoded = u64::from(gray_to_binary(gray)) % span;
+        raw - u64::from(wrapped) + decoded
     }
 
     fn sync_delay_into_write(&self) -> SimDuration {
@@ -228,19 +275,28 @@ impl<T> CdcFifo<T> {
     }
 
     /// Occupancy as the *write* domain sees it at `now` (pessimistic:
-    /// the read pointer is stale, so this over-estimates).
+    /// the read pointer is stale, so this over-estimates). Saturated
+    /// to `[0, depth]`: an upset pointer can claim any occupancy, but
+    /// the view itself never reports the impossible.
     pub fn occupancy_seen_by_writer(&self, now: SimTime) -> u64 {
         let wr = self.write_trail.latest();
-        let rd = self.read_trail.seen_through(now, self.sync_delay_into_write());
-        wr - rd
+        let mut rd = self.read_trail.seen_through(now, self.sync_delay_into_write());
+        if let Some(bit) = self.upset_read_ptr_bit {
+            rd = self.corrupted(rd, bit);
+        }
+        wr.saturating_sub(rd).min(self.config.depth as u64)
     }
 
     /// Occupancy as the *read* domain sees it at `now` (pessimistic:
-    /// the write pointer is stale, so this under-estimates).
+    /// the write pointer is stale, so this under-estimates). Saturated
+    /// to `[0, depth]` like the writer view.
     pub fn occupancy_seen_by_reader(&self, now: SimTime) -> u64 {
-        let wr = self.write_trail.seen_through(now, self.sync_delay_into_read());
+        let mut wr = self.write_trail.seen_through(now, self.sync_delay_into_read());
+        if let Some(bit) = self.upset_write_ptr_bit {
+            wr = self.corrupted(wr, bit);
+        }
         let rd = self.read_trail.latest();
-        wr - rd
+        wr.saturating_sub(rd).min(self.config.depth as u64)
     }
 
     /// True occupancy (omniscient; tests and assertions only).
@@ -259,11 +315,22 @@ impl<T> CdcFifo<T> {
             return Err(CdcFifoError::TimeWentBackwards);
         }
         self.last_write = now;
-        if self.occupancy_seen_by_writer(now) >= self.config.depth as u64 {
+        let seen = self.occupancy_seen_by_writer(now);
+        // The transient upset lived on the crossing wires for exactly
+        // this access; the correct pointer re-latches afterwards.
+        self.upset_read_ptr_bit = None;
+        if seen >= self.config.depth as u64 {
             self.refused_full += 1;
             return Err(CdcFifoError::Full);
         }
-        debug_assert!(self.storage.len() < self.config.depth, "conservatism violated");
+        if self.storage.len() >= self.config.depth {
+            // An upset read pointer claimed free space that physically
+            // is not there; the hardened full detector refuses rather
+            // than overwrite unread data. Unreachable without faults.
+            self.upset_anomalies += 1;
+            self.refused_full += 1;
+            return Err(CdcFifoError::Full);
+        }
         self.storage.push_back(item);
         let next = self.write_trail.latest() + 1;
         self.write_trail.push(now, next);
@@ -279,14 +346,28 @@ impl<T> CdcFifo<T> {
             return None;
         }
         self.last_read = now;
-        if self.occupancy_seen_by_reader(now) == 0 {
+        let seen = self.occupancy_seen_by_reader(now);
+        // The upset crossed for exactly this access.
+        self.upset_write_ptr_bit = None;
+        if seen == 0 {
             return None;
         }
-        let item = self.storage.pop_front().expect("reader view is conservative");
-        let next = self.read_trail.latest() + 1;
-        self.read_trail.push(now, next);
-        self.prune_trails();
-        Some(item)
+        match self.storage.pop_front() {
+            Some(item) => {
+                let next = self.read_trail.latest() + 1;
+                self.read_trail.push(now, next);
+                self.prune_trails();
+                Some(item)
+            }
+            None => {
+                // An upset write pointer promised data that never
+                // arrived; refusing the phantom pop (instead of the
+                // old panic) keeps the stream correct — the reader
+                // simply retries later. Unreachable without faults.
+                self.upset_anomalies += 1;
+                None
+            }
+        }
     }
 
     /// The Gray encoding of the current write pointer (what would sit
@@ -415,12 +496,74 @@ mod tests {
     }
 
     #[test]
+    fn phantom_pop_from_upset_write_pointer_is_refused() {
+        let mut fifo: CdcFifo<u8> = CdcFifo::new(cfg()).unwrap();
+        // Empty FIFO; an upset makes the reader's copy of the write
+        // pointer claim one entry.
+        fifo.upset_write_pointer(0);
+        assert_eq!(fifo.occupancy_seen_by_reader(SimTime::from_ns(100)), 1, "corrupted view");
+        assert_eq!(fifo.pop(SimTime::from_ns(100)), None, "hardened empty detector refuses");
+        assert_eq!(fifo.upset_anomalies, 1);
+        // The upset was transient: behaviour is nominal afterwards.
+        fifo.push(SimTime::from_ns(200), 7).unwrap();
+        assert_eq!(fifo.pop(SimTime::from_ns(400)), Some(7));
+        assert_eq!(fifo.upset_anomalies, 1);
+    }
+
+    #[test]
+    fn upset_read_pointer_cannot_overwrite_unread_data() {
+        let mut fifo: CdcFifo<u8> = CdcFifo::new(cfg()).unwrap();
+        let mut t = SimTime::from_ns(100);
+        for i in 0..8 {
+            fifo.push(t, i).unwrap();
+            t += SimDuration::from_ns(66);
+        }
+        // Physically full; the upset makes the writer's copy of the
+        // read pointer claim a slot freed up.
+        fifo.upset_read_pointer(0);
+        assert!(fifo.occupancy_seen_by_writer(t) < 8, "corrupted view claims space");
+        assert_eq!(fifo.push(t, 99), Err(CdcFifoError::Full), "physical-full detector holds");
+        assert_eq!(fifo.upset_anomalies, 1);
+        assert_eq!(fifo.true_occupancy(), 8, "no unread entry was overwritten");
+    }
+
+    #[test]
+    fn fault_injector_drives_upsets_deterministically() {
+        use aetr_faults::{FaultInjector, FaultPlan, FaultRates};
+        let plan = FaultPlan::nominal(42)
+            .with_rates(FaultRates { cdc_gray_upset: 0.3, ..FaultRates::default() });
+        let campaign = |plan: &FaultPlan| -> (Vec<u64>, u64, u64) {
+            let mut injector = FaultInjector::new(plan);
+            let mut fifo: CdcFifo<u64> = CdcFifo::new(cfg()).unwrap();
+            let mut t = SimTime::from_ns(10);
+            let mut popped = Vec::new();
+            for i in 0..500u64 {
+                t += SimDuration::from_ns(66);
+                if let Some(bit) = injector.upset_gray_bit(fifo.pointer_bits()) {
+                    if i % 2 == 0 {
+                        fifo.upset_write_pointer(bit);
+                    } else {
+                        fifo.upset_read_pointer(bit);
+                    }
+                }
+                if i % 3 != 2 {
+                    let _ = fifo.push(t, i);
+                } else if let Some(v) = fifo.pop(t) {
+                    popped.push(v);
+                }
+            }
+            (popped, fifo.upset_anomalies, fifo.refused_full)
+        };
+        let first = campaign(&plan);
+        assert_eq!(first, campaign(&plan), "same seed, same campaign outcome");
+        // Order survives the upsets even when anomalies occurred.
+        assert!(first.0.windows(2).all(|w| w[0] < w[1]), "FIFO order preserved");
+    }
+
+    #[test]
     fn time_monotonicity_enforced_per_domain() {
         let mut fifo: CdcFifo<u8> = CdcFifo::new(cfg()).unwrap();
         fifo.push(SimTime::from_ns(100), 1).unwrap();
-        assert_eq!(
-            fifo.push(SimTime::from_ns(50), 2),
-            Err(CdcFifoError::TimeWentBackwards)
-        );
+        assert_eq!(fifo.push(SimTime::from_ns(50), 2), Err(CdcFifoError::TimeWentBackwards));
     }
 }

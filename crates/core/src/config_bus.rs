@@ -302,14 +302,8 @@ mod tests {
             regs.write(Register::ThetaDiv, 1),
             Err(RegisterError::InvalidValue { .. })
         ));
-        assert!(matches!(
-            regs.write(Register::NDiv, 21),
-            Err(RegisterError::InvalidValue { .. })
-        ));
-        assert!(matches!(
-            regs.write(Register::Policy, 9),
-            Err(RegisterError::InvalidValue { .. })
-        ));
+        assert!(matches!(regs.write(Register::NDiv, 21), Err(RegisterError::InvalidValue { .. })));
+        assert!(matches!(regs.write(Register::Policy, 9), Err(RegisterError::InvalidValue { .. })));
         assert!(matches!(
             regs.write(Register::FifoWatermark, 0),
             Err(RegisterError::InvalidValue { .. })

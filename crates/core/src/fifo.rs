@@ -23,6 +23,35 @@ pub enum OverflowPolicy {
     DropOldest,
 }
 
+/// What happened to an event offered to [`AetrFifo::push`].
+///
+/// Distinguishing the two overflow modes at the call site lets the
+/// health monitor attribute losses without re-reading [`FifoStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PushOutcome {
+    /// The event was stored without displacing anything.
+    Stored,
+    /// The FIFO was full and the *incoming* event was discarded
+    /// ([`OverflowPolicy::DropNewest`]).
+    DroppedNewest,
+    /// The FIFO was full and the *oldest buffered* event was discarded
+    /// to make room; the incoming event was stored
+    /// ([`OverflowPolicy::DropOldest`]).
+    DroppedOldest,
+}
+
+impl PushOutcome {
+    /// `true` when the incoming event ended up in the buffer.
+    pub fn incoming_stored(self) -> bool {
+        !matches!(self, PushOutcome::DroppedNewest)
+    }
+
+    /// `true` when *some* event was lost, incoming or buffered.
+    pub fn lost_an_event(self) -> bool {
+        !matches!(self, PushOutcome::Stored)
+    }
+}
+
 /// FIFO configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FifoConfig {
@@ -163,19 +192,21 @@ impl AetrFifo {
         self.queue.len() >= self.config.watermark
     }
 
-    /// Pushes an event, applying the overflow policy when full.
-    /// Returns `true` if the event was stored.
-    pub fn push(&mut self, event: AetrEvent) -> bool {
+    /// Pushes an event, applying the overflow policy when full, and
+    /// reports what happened to it.
+    pub fn push(&mut self, event: AetrEvent) -> PushOutcome {
         let was_below = self.queue.len() < self.config.watermark;
+        let mut outcome = PushOutcome::Stored;
         if self.is_full() {
             match self.config.overflow {
                 OverflowPolicy::DropNewest => {
                     self.stats.dropped += 1;
-                    return false;
+                    return PushOutcome::DroppedNewest;
                 }
                 OverflowPolicy::DropOldest => {
                     self.queue.pop_front();
                     self.stats.dropped += 1;
+                    outcome = PushOutcome::DroppedOldest;
                 }
             }
         }
@@ -185,7 +216,7 @@ impl AetrFifo {
         if was_below && self.queue.len() >= self.config.watermark {
             self.stats.watermark_crossings += 1;
         }
-        true
+        outcome
     }
 
     /// Pops the oldest event.
@@ -214,8 +245,8 @@ impl AetrFifo {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aetr_aer::address::Address;
     use crate::aetr_format::Timestamp;
+    use aetr_aer::address::Address;
 
     fn ev(i: u16) -> AetrEvent {
         AetrEvent::new(Address::new(i % 1024).unwrap(), Timestamp::from_ticks(i as u64))
@@ -246,8 +277,11 @@ mod tests {
     #[test]
     fn drop_newest_on_overflow() {
         let mut fifo = tiny(2, OverflowPolicy::DropNewest);
-        for i in 0..6 {
-            fifo.push(ev(i));
+        for i in 0..4 {
+            assert_eq!(fifo.push(ev(i)), PushOutcome::Stored);
+        }
+        for i in 4..6 {
+            assert_eq!(fifo.push(ev(i)), PushOutcome::DroppedNewest);
         }
         assert_eq!(fifo.len(), 4);
         assert_eq!(fifo.stats().dropped, 2);
@@ -257,12 +291,25 @@ mod tests {
     #[test]
     fn drop_oldest_on_overflow() {
         let mut fifo = tiny(2, OverflowPolicy::DropOldest);
-        for i in 0..6 {
-            fifo.push(ev(i));
+        for i in 0..4 {
+            assert_eq!(fifo.push(ev(i)), PushOutcome::Stored);
+        }
+        for i in 4..6 {
+            assert_eq!(fifo.push(ev(i)), PushOutcome::DroppedOldest);
         }
         assert_eq!(fifo.len(), 4);
         assert_eq!(fifo.stats().dropped, 2);
         assert_eq!(fifo.pop(), Some(ev(2)), "newest survive");
+    }
+
+    #[test]
+    fn push_outcome_classifiers() {
+        assert!(PushOutcome::Stored.incoming_stored());
+        assert!(!PushOutcome::Stored.lost_an_event());
+        assert!(!PushOutcome::DroppedNewest.incoming_stored());
+        assert!(PushOutcome::DroppedNewest.lost_an_event());
+        assert!(PushOutcome::DroppedOldest.incoming_stored());
+        assert!(PushOutcome::DroppedOldest.lost_an_event());
     }
 
     #[test]

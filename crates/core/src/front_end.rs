@@ -160,10 +160,7 @@ mod tests {
 
     #[test]
     fn metastable_edge_slips_one_tick() {
-        let cfg = FrontEndConfig {
-            sync_stages: 1,
-            metastability_window: SimDuration::from_ns(1),
-        };
+        let cfg = FrontEndConfig { sync_stages: 1, metastability_window: SimDuration::from_ns(1) };
         let mut m = InputMonitor::new(cfg);
         // REQ rises 500 ps before the tick: inside the 1 ns window.
         m.req_rise(SimTime::from_ps(9_500), addr(3));
@@ -173,10 +170,7 @@ mod tests {
 
     #[test]
     fn clean_edge_is_captured_by_next_tick() {
-        let cfg = FrontEndConfig {
-            sync_stages: 1,
-            metastability_window: SimDuration::from_ns(1),
-        };
+        let cfg = FrontEndConfig { sync_stages: 1, metastability_window: SimDuration::from_ns(1) };
         let mut m = InputMonitor::new(cfg);
         m.req_rise(SimTime::from_ns(5), addr(3));
         assert!(m.on_tick(SimTime::from_ns(10)));

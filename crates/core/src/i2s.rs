@@ -77,10 +77,7 @@ pub struct I2sFrame {
 impl I2sFrame {
     /// The events carried by this frame (ignoring idle padding).
     pub fn events(&self) -> impl Iterator<Item = AetrEvent> {
-        [self.left, self.right]
-            .into_iter()
-            .filter(|&w| w != IDLE_WORD)
-            .map(AetrEvent::from_word)
+        [self.left, self.right].into_iter().filter(|&w| w != IDLE_WORD).map(AetrEvent::from_word)
     }
 }
 
@@ -126,6 +123,13 @@ impl I2sStream {
     /// Total events carried (idle padding excluded).
     pub fn event_count(&self) -> usize {
         self.frames.iter().map(|f| f.events().count()).sum()
+    }
+
+    /// Removes and returns the most recent frame (fault-injection
+    /// support: a receiver-side frame slip loses the frame *after* the
+    /// transmitter spent the bus time sending it).
+    pub fn pop_last(&mut self) -> Option<I2sFrame> {
+        self.frames.pop()
     }
 }
 
@@ -220,6 +224,13 @@ impl I2sTransmitter {
         Ok(self.busy_until)
     }
 
+    /// Discards the most recently transmitted frame — a receiver-side
+    /// frame slip. The bus time stays spent (`busy_until` is
+    /// unchanged); only the data is lost. Returns the lost frame.
+    pub fn drop_last_frame(&mut self) -> Option<I2sFrame> {
+        self.stream.pop_last()
+    }
+
     /// The transmitted stream so far.
     pub fn stream(&self) -> &I2sStream {
         &self.stream
@@ -296,6 +307,18 @@ mod tests {
         // interface range-checks; documents the invariant.
         let almost = AetrEvent::new(Address::new(1022).unwrap(), Timestamp::SATURATED);
         assert_ne!(almost.to_word(), IDLE_WORD);
+    }
+
+    #[test]
+    fn drop_last_frame_keeps_bus_time_spent() {
+        let mut tx = I2sTransmitter::new(I2sConfig::prototype());
+        tx.send_pair(SimTime::ZERO, ev(1), Some(ev(2))).unwrap();
+        let busy = tx.busy_until();
+        let slipped = tx.drop_last_frame().expect("frame was sent");
+        assert_eq!(slipped.events().count(), 2);
+        assert_eq!(tx.stream().len(), 0, "frame gone from the stream");
+        assert_eq!(tx.busy_until(), busy, "bus time was still consumed");
+        assert_eq!(tx.drop_last_frame(), None);
     }
 
     #[test]

@@ -24,6 +24,9 @@ use aetr_aer::handshake::{HandshakeLog, HandshakeSender, HandshakeTiming};
 use aetr_aer::spike::SpikeTrain;
 use aetr_clockgen::config::{ClockGenConfig, ClockGenConfigError};
 use aetr_clockgen::fsm::{FsmAction, SamplerFsm};
+use aetr_faults::{
+    FaultInjector, FaultKind, FaultPlan, HealthMonitor, InterfaceHealthReport, WatchdogConfig,
+};
 use aetr_power::meter::PowerMeter;
 use aetr_power::model::{ActivityInput, PowerModel, PowerReport};
 use aetr_sim::queue::EventQueue;
@@ -152,6 +155,8 @@ pub struct InterfaceReport {
     pub power: PowerReport,
     /// Ring-oscillator wake count.
     pub wake_count: u64,
+    /// Fault and recovery counters (all-zero in a fault-free run).
+    pub health: InterfaceHealthReport,
 }
 
 /// Scheduled DES events.
@@ -167,6 +172,11 @@ enum Ev {
     FrameDone,
     /// A host SPI register write (index into the reconfig list).
     SpiWrite(usize),
+    /// Watchdog re-drives `ACK` after a lost edge (attempt number).
+    AckRetry(u32),
+    /// Watchdog re-checks a wake the oscillator may have missed
+    /// (attempt number).
+    WakeCheck(u32),
 }
 
 /// The assembled interface.
@@ -220,7 +230,28 @@ impl AerToI2sInterface {
     /// `horizon` is reached (power is integrated over `[0, horizon]`
     /// or to the last activity, whichever is later).
     pub fn run(&self, train: SpikeTrain, horizon: SimTime) -> InterfaceReport {
-        Runner::new(&self.config, &self.power_model, train, horizon).run()
+        Runner::new(&self.config, &self.power_model, train, horizon, &FaultPlan::nominal(0)).run()
+    }
+
+    /// Like [`run`](Self::run), with faults injected per `plan` and
+    /// the watchdog/degraded-mode recovery machinery armed.
+    ///
+    /// A plan whose rates are all zero and whose schedule is empty
+    /// produces a report bit-identical to [`run`](Self::run) — the
+    /// injector never consumes a random draw, so fault support is
+    /// provably free when disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` does not validate
+    /// ([`FaultPlan::validate`]).
+    pub fn run_with_faults(
+        &self,
+        train: SpikeTrain,
+        horizon: SimTime,
+        plan: &FaultPlan,
+    ) -> InterfaceReport {
+        Runner::new(&self.config, &self.power_model, train, horizon, plan).run()
     }
 
     /// Like [`run`](Self::run), with SPI register writes applied at
@@ -244,7 +275,8 @@ impl AerToI2sInterface {
             writes.windows(2).all(|w| w[1].0 >= w[0].0),
             "reconfiguration writes must be time-sorted"
         );
-        let mut runner = Runner::new(&self.config, &self.power_model, train, horizon);
+        let mut runner =
+            Runner::new(&self.config, &self.power_model, train, horizon, &FaultPlan::nominal(0));
         runner.schedule_reconfigs(writes);
         runner.run()
     }
@@ -278,6 +310,20 @@ struct Runner<'a> {
     /// A drain is in progress (frames chained by `FrameDone`).
     draining: bool,
     wake_count: u64,
+
+    /// Fault source (inert for an all-zero plan).
+    injector: FaultInjector,
+    /// Recovery policy.
+    watchdog: WatchdogConfig,
+    /// Fault/recovery counters.
+    health: HealthMonitor,
+    /// Sampling time of an event whose `ACK` the sensor missed; the
+    /// handshake hangs (`REQ` high, sender in `ReqHigh`) until an
+    /// `AckRetry` resolves it.
+    pending_ack: Option<SimTime>,
+    /// The watchdog gave up on pausable clocking (`N_div` clamped,
+    /// clock never sleeps again).
+    degraded: bool,
 }
 
 impl<'a> Runner<'a> {
@@ -286,6 +332,7 @@ impl<'a> Runner<'a> {
         power_model: &'a PowerModel,
         train: SpikeTrain,
         horizon: SimTime,
+        plan: &FaultPlan,
     ) -> Runner<'a> {
         let mut meter = PowerMeter::new(SimTime::ZERO);
         meter.clock_multiplier(SimTime::ZERO, 1);
@@ -310,6 +357,11 @@ impl<'a> Runner<'a> {
             reconfigs: Vec::new(),
             draining: false,
             wake_count: 0,
+            injector: FaultInjector::new(plan),
+            watchdog: plan.watchdog,
+            health: HealthMonitor::new(),
+            pending_ack: None,
+            degraded: false,
         }
     }
 
@@ -327,6 +379,8 @@ impl<'a> Runner<'a> {
                 Ev::WakeDone => self.on_wake_done(t),
                 Ev::FrameDone => self.drain_step(t),
                 Ev::SpiWrite(index) => self.on_spi_write(t, index),
+                Ev::AckRetry(attempt) => self.on_ack_retry(t, attempt),
+                Ev::WakeCheck(attempt) => self.on_wake_check(t, attempt),
             }
             // Stop ticking past the horizon once all input is
             // consumed. Never-stopping clock policies tick forever, so
@@ -344,6 +398,7 @@ impl<'a> Runner<'a> {
             let first = self.fifo.pop().expect("checked non-empty");
             let second = self.fifo.pop();
             t = self.i2s.send_pair(t, first, second).expect("sequential drain cannot overlap");
+            self.maybe_slip_frame();
         }
 
         let end = self.horizon.max(self.queue.now()).max(t);
@@ -357,6 +412,7 @@ impl<'a> Runner<'a> {
             activity,
             power,
             wake_count: self.wake_count,
+            health: self.health.report(),
         }
     }
 
@@ -371,6 +427,13 @@ impl<'a> Runner<'a> {
         let (_, register, value) = self.reconfigs[index];
         if self.regs.write(register, value).is_ok() {
             let new_clock = self.regs.apply_to(&self.cfg.clock);
+            // In degraded mode the watchdog's clamp outranks the host:
+            // an SPI write cannot resurrect recursive clocking.
+            let new_clock = if self.degraded {
+                new_clock.degraded_fallback(self.watchdog.degraded_n_div_clamp)
+            } else {
+                new_clock
+            };
             if new_clock.validate().is_ok() {
                 self.fsm.reconfigure(&new_clock);
                 // If the FSM is awake, the current tick chain continues
@@ -387,18 +450,37 @@ impl<'a> Runner<'a> {
         }
     }
 
+    /// Restarts the ring oscillator, optionally injecting a wake
+    /// failure (the `WakeDone` is dropped and a watchdog `WakeCheck`
+    /// is armed instead).
+    fn schedule_wake(&mut self, t: SimTime) {
+        self.meter.wake();
+        self.wake_count += 1;
+        self.wake_frozen = Some(self.fsm.counter());
+        let due = t + self.cfg.clock.ring.wake_latency;
+        if self.injector.fail_wake() {
+            self.health.wake_failure();
+            self.queue
+                .schedule_at(due + self.watchdog.wake_timeout, Ev::WakeCheck(0))
+                .expect("wake check is in the future");
+        } else {
+            self.queue.schedule_at(due, Ev::WakeDone).expect("wake completes in the future");
+        }
+    }
+
     fn on_req_rise(&mut self, t: SimTime) {
+        // A stuck REQ from the previous handshake (fault) still holds
+        // the synchroniser's latch; clear it so the new request can
+        // land. Never fires in a fault-free run.
+        if self.current_request.is_none() && self.monitor.sampled_address().is_some() {
+            self.monitor.req_fall();
+        }
         let spike = self.sender.begin(t);
         self.monitor.req_rise(t, spike.addr);
         self.current_request = Some(t);
         if self.fsm.is_asleep() {
             // REQ asynchronously restarts the ring oscillator.
-            self.meter.wake();
-            self.wake_count += 1;
-            self.wake_frozen = Some(self.fsm.counter());
-            self.queue
-                .schedule_at(t + self.cfg.clock.ring.wake_latency, Ev::WakeDone)
-                .expect("wake completes in the future");
+            self.schedule_wake(t);
         }
     }
 
@@ -415,7 +497,29 @@ impl<'a> Runner<'a> {
             // Stale tick scheduled before a shutdown raced in; ignore.
             return;
         }
-        let pending = if self.wake_frozen.is_some() {
+        if let Some(kind) = self.injector.due_scheduled(t) {
+            match kind {
+                FaultKind::StuckOscillator => {
+                    self.health.oscillator_stall();
+                    self.fsm.force_shutdown();
+                    self.meter.clock_off(t);
+                    // A latched REQ holds the wake input, so recovery
+                    // starts immediately — unless an unresolved ACK is
+                    // keeping REQ high, in which case the next fresh
+                    // request restarts the clock.
+                    if self.monitor.sampled_address().is_some() && self.pending_ack.is_none() {
+                        self.schedule_wake(t);
+                    }
+                    return;
+                }
+            }
+        }
+        let pending = if self.pending_ack.is_some() {
+            // REQ is held high awaiting a re-driven ACK; the latched
+            // address belongs to the already-sampled event, not a new
+            // request.
+            false
+        } else if self.wake_frozen.is_some() {
             true // the wake tick samples unconditionally (REQ woke us)
         } else {
             self.monitor.on_tick(t)
@@ -435,13 +539,8 @@ impl<'a> Runner<'a> {
                 // synchroniser), it holds the ring oscillator's wake
                 // input: the clock restarts immediately, and the event
                 // gets the frozen (saturated) timestamp.
-                if self.monitor.sampled_address().is_some() {
-                    self.meter.wake();
-                    self.wake_count += 1;
-                    self.wake_frozen = Some(self.fsm.counter());
-                    self.queue
-                        .schedule_at(t + self.cfg.clock.ring.wake_latency, Ev::WakeDone)
-                        .expect("wake completes in the future");
+                if self.monitor.sampled_address().is_some() && self.pending_ack.is_none() {
+                    self.schedule_wake(t);
                 }
                 return; // no further ticks until the wake
             }
@@ -453,41 +552,167 @@ impl<'a> Runner<'a> {
     }
 
     fn capture_event(&mut self, t: SimTime, ticks: u64) {
-        let addr = self
-            .monitor
-            .sampled_address()
-            .expect("a sampled request always has a latched address");
+        let Some(addr) = self.monitor.sampled_address() else {
+            // A glitch made the synchroniser fire with nothing latched
+            // (possible only under injected faults); nothing to capture.
+            self.health.spurious_sample();
+            return;
+        };
         let event = AetrEvent::new(addr, Timestamp::from_ticks(ticks));
-        let request = self
-            .current_request
-            .take()
-            .expect("a captured event always has an in-flight request");
+        let request = match self.current_request.take() {
+            Some(r) => r,
+            None => {
+                // Latched address without an in-flight request: a stuck
+                // REQ re-sampled after its handshake completed. Discard
+                // the duplicate and clear the latch.
+                self.health.spurious_sample();
+                self.monitor.req_fall();
+                return;
+            }
+        };
         self.events.push(TimestampedEvent { request, detection: t, event });
         self.meter.event(1);
 
-        // Route through the crossbar into the FIFO.
-        if self.crossbar.route(SourcePort::FrontEnd, event.to_word()) == Some(SinkPort::BufferIn)
-        {
-            self.fifo.push(event);
+        // Route through the crossbar into the FIFO. An injected bit
+        // flip corrupts the stored word only — the captured event above
+        // keeps the true value, so campaigns can measure the damage.
+        let mut word = event.to_word();
+        if let Some(bit) = self.injector.flip_fifo_bit() {
+            self.health.fifo_bit_flip();
+            word ^= 1 << bit;
+        }
+        if self.crossbar.route(SourcePort::FrontEnd, word) == Some(SinkPort::BufferIn) {
+            let stored = AetrEvent::from_word(word);
+            if self.fifo.push(stored).lost_an_event() {
+                self.health.fifo_drop();
+            }
         }
         self.regs.set_status(self.fifo.len() as u32);
         self.regs.set_event_count(self.events.len() as u32);
 
         // Complete the 4-phase handshake: ACK rises with the sampling
-        // edge (one reference period of response delay).
+        // edge (one reference period of response delay) — unless the
+        // sensor misses the ACK edge, in which case the watchdog takes
+        // over and re-drives it after a timeout.
         let ref_period = self.cfg.clock.reference_period();
-        let ack_rise = t + ref_period;
-        let req_fall = self.sender.ack_rise(ack_rise);
-        let ack_fall = req_fall + ref_period;
-        self.log.push(self.sender.ack_fall(ack_rise, req_fall, ack_fall));
-        self.monitor.req_fall();
-        self.schedule_next_request();
+        if self.injector.lose_ack() {
+            self.health.lost_ack();
+            self.pending_ack = Some(t);
+            self.queue
+                .schedule_at(t + self.watchdog.ack_timeout, Ev::AckRetry(0))
+                .expect("ack retry is in the future");
+        } else {
+            self.complete_handshake(t + ref_period);
+        }
 
         // Watermark batching: start a drain once the threshold is hit.
         if self.fifo.at_watermark() && !self.draining {
             self.draining = true;
             let start = t.max(self.i2s.busy_until());
             self.queue.schedule_at(start, Ev::FrameDone).expect("drain start is not in the past");
+        }
+    }
+
+    /// Finishes the 4-phase transaction with `ACK` rising at
+    /// `ack_rise`, applying protocol fault injection (malformed edge
+    /// ordering, stuck `REQ`) on the way out.
+    fn complete_handshake(&mut self, ack_rise: SimTime) {
+        let ref_period = self.cfg.clock.reference_period();
+        let req_fall = self.sender.ack_rise(ack_rise);
+        let ack_fall = req_fall + ref_period;
+        let mut txn = self.sender.ack_fall(ack_rise, req_fall, ack_fall);
+        if self.injector.malform() {
+            // The sensor drives its edges out of order; the logged
+            // transaction violates the 4-phase contract and
+            // `verify_protocol` will flag it.
+            self.health.malformed();
+            std::mem::swap(&mut txn.ack_rise, &mut txn.req_fall);
+        }
+        self.log.push(txn);
+        if self.injector.stick_req() {
+            // REQ fails to fall: the synchroniser latch stays set and
+            // the next tick would re-sample a phantom copy.
+            self.health.stuck_request();
+        } else {
+            self.monitor.req_fall();
+        }
+        self.schedule_next_request();
+    }
+
+    /// Watchdog: the `ACK` the sensor should have seen never arrived
+    /// (`REQ` still high). Re-drive it, with bounded exponential
+    /// backoff; after `max_ack_retries` the channel is aborted.
+    fn on_ack_retry(&mut self, t: SimTime, attempt: u32) {
+        if self.pending_ack.is_none() {
+            return; // stale retry; the handshake already resolved
+        }
+        self.health.ack_retry();
+        if self.injector.lose_ack() {
+            self.health.lost_ack();
+            if attempt + 1 >= self.watchdog.max_ack_retries {
+                // Give up: abort the transaction, drop the latch and
+                // move on. The event was already captured; only the
+                // handshake record is lost.
+                self.health.handshake_aborted();
+                self.pending_ack = None;
+                self.sender.abort(t);
+                self.monitor.req_fall();
+                self.schedule_next_request();
+            } else {
+                self.queue
+                    .schedule_at(
+                        t + self.watchdog.ack_backoff(attempt + 1),
+                        Ev::AckRetry(attempt + 1),
+                    )
+                    .expect("ack retry is in the future");
+            }
+        } else {
+            self.health.ack_recovered();
+            self.pending_ack = None;
+            self.complete_handshake(t);
+        }
+    }
+
+    /// Watchdog: a wake that should have completed did not. Retry; if
+    /// the oscillator stays dead, force it awake and fall back to
+    /// degraded (never-sleeping) clocking.
+    fn on_wake_check(&mut self, t: SimTime, attempt: u32) {
+        if !self.fsm.is_asleep() {
+            return; // stale check; something else woke the clock
+        }
+        self.health.wake_retry();
+        if attempt >= self.watchdog.max_wake_retries {
+            self.health.forced_wake();
+            self.enter_degraded();
+            self.on_wake_done(t);
+        } else if self.injector.fail_wake() {
+            self.health.wake_failure();
+            self.queue
+                .schedule_at(t + self.watchdog.wake_timeout, Ev::WakeCheck(attempt + 1))
+                .expect("wake check is in the future");
+        } else {
+            self.on_wake_done(t);
+        }
+    }
+
+    /// Clamps `N_div` and pins the clock on: latency stays bounded at
+    /// the cost of the paper's energy proportionality.
+    fn enter_degraded(&mut self) {
+        if self.degraded {
+            return;
+        }
+        self.degraded = true;
+        self.health.entered_degraded();
+        self.fsm.reconfigure(&self.cfg.clock.degraded_fallback(self.watchdog.degraded_n_div_clamp));
+    }
+
+    /// Applies an injected receiver-side frame slip to the most recent
+    /// I2S frame.
+    fn maybe_slip_frame(&mut self) {
+        if self.injector.slip_frame() {
+            if let Some(frame) = self.i2s.drop_last_frame() {
+                self.health.frame_slip(frame.events().count() as u64);
+            }
         }
     }
 
@@ -503,10 +728,8 @@ impl<'a> Runner<'a> {
         if let Some(s) = second {
             self.crossbar.route(SourcePort::BufferOut, s.to_word());
         }
-        let done = self
-            .i2s
-            .send_pair(start, first, second)
-            .expect("drain respects busy_until");
+        let done = self.i2s.send_pair(start, first, second).expect("drain respects busy_until");
+        self.maybe_slip_frame();
         self.regs.set_status(self.fifo.len() as u32);
         self.queue.schedule_at(done, Ev::FrameDone).expect("frame completes in the future");
     }
@@ -545,10 +768,8 @@ mod tests {
 
     #[test]
     fn timestamps_match_behavioral_engine_with_ideal_front_end() {
-        let cfg = InterfaceConfig {
-            front_end: FrontEndConfig::ideal(),
-            ..InterfaceConfig::prototype()
-        };
+        let cfg =
+            InterfaceConfig { front_end: FrontEndConfig::ideal(), ..InterfaceConfig::prototype() };
         let train = PoissonGenerator::new(80_000.0, 32, 9).generate(SimTime::from_ms(20));
         let des = AerToI2sInterface::new(cfg).unwrap().run(train.clone(), SimTime::from_ms(20));
         let behav = quantize_train(&cfg.clock, &train, SimTime::from_ms(20));
@@ -583,8 +804,8 @@ mod tests {
 
     #[test]
     fn sparse_events_wake_the_clock() {
-        let train = RegularGenerator::new(SimDuration::from_ms(10), 4)
-            .generate(SimTime::from_ms(95));
+        let train =
+            RegularGenerator::new(SimDuration::from_ms(10), 4).generate(SimTime::from_ms(95));
         let n = train.len();
         let report = prototype().run(train, SimTime::from_ms(100));
         assert_eq!(report.wake_count, n as u64, "every sparse event wakes the oscillator");
@@ -600,9 +821,8 @@ mod tests {
             clock: ClockGenConfig::prototype().with_policy(DivisionPolicy::Never),
             ..InterfaceConfig::prototype()
         };
-        let report = AerToI2sInterface::new(cfg)
-            .unwrap()
-            .run(SpikeTrain::new(), SimTime::from_ms(2));
+        let report =
+            AerToI2sInterface::new(cfg).unwrap().run(SpikeTrain::new(), SimTime::from_ms(2));
         assert_eq!(report.wake_count, 0);
         assert_eq!(report.activity.off, SimDuration::ZERO);
         assert!(report.power.total.as_milliwatts() > 4.0, "naive power {}", report.power.total);
@@ -627,10 +847,8 @@ mod tests {
 
     #[test]
     fn power_matches_behavioral_model_within_tolerance() {
-        let cfg = InterfaceConfig {
-            front_end: FrontEndConfig::ideal(),
-            ..InterfaceConfig::prototype()
-        };
+        let cfg =
+            InterfaceConfig { front_end: FrontEndConfig::ideal(), ..InterfaceConfig::prototype() };
         let train = LfsrGenerator::new(50_000.0, 0xFEED).generate(SimTime::from_ms(50));
         let des = AerToI2sInterface::new(cfg).unwrap().run(train.clone(), SimTime::from_ms(50));
         let behav = quantize_train(&cfg.clock, &train, SimTime::from_ms(50));
@@ -662,14 +880,10 @@ mod tests {
         let writes = [(SimTime::from_ms(3), Register::NDiv, 6u32)];
         let report = interface.run_with_reconfig(train, SimTime::from_ms(7), &writes);
         assert_eq!(report.events.len(), 20);
-        let before: Vec<u32> = report.events[..8]
-            .iter()
-            .map(|e| e.event.timestamp.ticks())
-            .collect();
-        let after: Vec<u32> = report.events[12..]
-            .iter()
-            .map(|e| e.event.timestamp.ticks())
-            .collect();
+        let before: Vec<u32> =
+            report.events[..8].iter().map(|e| e.event.timestamp.ticks()).collect();
+        let after: Vec<u32> =
+            report.events[12..].iter().map(|e| e.event.timestamp.ticks()).collect();
         assert!(
             before.iter().all(|&t| t == 960),
             "before the write every gap saturates at 960: {before:?}"
@@ -697,10 +911,7 @@ mod tests {
             clock: ClockGenConfig { theta_div: 1, ..ClockGenConfig::prototype() },
             ..InterfaceConfig::prototype()
         };
-        assert!(matches!(
-            AerToI2sInterface::new(bad),
-            Err(InterfaceConfigError::Clock(_))
-        ));
+        assert!(matches!(AerToI2sInterface::new(bad), Err(InterfaceConfigError::Clock(_))));
         let bad_fifo = InterfaceConfig {
             fifo: FifoConfig { capacity_bytes: 8, watermark: 100, ..FifoConfig::prototype() },
             ..InterfaceConfig::prototype()

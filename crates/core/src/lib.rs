@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod aetr_format;
+pub mod campaign;
 pub mod cdc_fifo;
 pub mod config_bus;
 pub mod crossbar;
@@ -80,8 +81,8 @@ mod proptests {
 
     use crate::aetr_format::{decode_stream, encode_stream, AetrEvent, Timestamp};
     use crate::config_bus::{Register, RegisterFile};
-    use crate::fifo::{AetrFifo, FifoConfig, OverflowPolicy};
-    use crate::spi::{run_frame, write_frame, SpiSlave, SpiResponse};
+    use crate::fifo::{AetrFifo, FifoConfig, OverflowPolicy, PushOutcome};
+    use crate::spi::{run_frame, write_frame, SpiResponse, SpiSlave};
 
     fn any_event() -> impl Strategy<Value = AetrEvent> {
         (0u16..1024, 0u64..(1 << 22)).prop_map(|(a, t)| {
@@ -127,12 +128,12 @@ mod proptests {
                         Timestamp::from_ticks(counter),
                     );
                     counter += 1;
-                    let stored = fifo.push(ev);
+                    let outcome = fifo.push(ev);
                     if reference.len() < capacity_words {
                         reference.push_back(ev);
-                        prop_assert!(stored);
+                        prop_assert_eq!(outcome, PushOutcome::Stored);
                     } else {
-                        prop_assert!(!stored);
+                        prop_assert_eq!(outcome, PushOutcome::DroppedNewest);
                     }
                 } else {
                     prop_assert_eq!(fifo.pop(), reference.pop_front());
@@ -159,6 +160,54 @@ mod proptests {
                 }
                 SpiResponse::ReadOk { .. } => prop_assert!(false, "write frame produced a read"),
             }
+        }
+
+        /// Under arbitrary interleavings of pushes, pops and injected
+        /// Gray-pointer upsets, the CDC FIFO's synchronised occupancy
+        /// views stay within `[0, depth]`, physical occupancy never
+        /// exceeds depth, and pops yield exactly the pushed sequence
+        /// in order — never a fabricated or reordered item.
+        #[test]
+        fn cdc_fifo_contains_gray_pointer_upsets(
+            ops in proptest::collection::vec((0u8..4, 0u32..32), 0..300),
+            depth_log2 in 1u32..5,
+        ) {
+            use crate::cdc_fifo::{CdcFifo, CdcFifoConfig};
+            use aetr_sim::time::{SimDuration, SimTime};
+
+            let depth = 1usize << depth_log2;
+            let config = CdcFifoConfig {
+                depth,
+                write_period: SimDuration::from_ns(66),
+                read_period: SimDuration::from_ns(33),
+            };
+            let mut fifo: CdcFifo<u64> = CdcFifo::new(config).expect("valid config");
+            let mut pushed = Vec::new();
+            let mut popped = Vec::new();
+            let mut next = 0u64;
+            let mut t = SimTime::ZERO;
+            for (op, bit) in ops {
+                t += SimDuration::from_ns(40);
+                match op {
+                    0 => {
+                        if fifo.push(t, next).is_ok() {
+                            pushed.push(next);
+                        }
+                        next += 1;
+                    }
+                    1 => {
+                        if let Some(v) = fifo.pop(t) {
+                            popped.push(v);
+                        }
+                    }
+                    2 => fifo.upset_write_pointer(bit),
+                    _ => fifo.upset_read_pointer(bit),
+                }
+                prop_assert!(fifo.occupancy_seen_by_writer(t) <= depth as u64);
+                prop_assert!(fifo.occupancy_seen_by_reader(t) <= depth as u64);
+                prop_assert!(fifo.true_occupancy() <= depth);
+            }
+            prop_assert_eq!(&popped[..], &pushed[..popped.len()]);
         }
     }
 

@@ -94,9 +94,7 @@ impl McuReceiver {
                 // frame arrived *now*; trust the local clock. Without a
                 // configured saturation value, fall back to the field
                 // maximum (only full-width saturation is detectable).
-                let sat = self
-                    .saturation_ticks
-                    .unwrap_or(crate::aetr_format::TIMESTAMP_MAX as u64);
+                let sat = self.saturation_ticks.unwrap_or(crate::aetr_format::TIMESTAMP_MAX as u64);
                 t = if event.timestamp.ticks() as u64 >= sat {
                     frame.start.max(t)
                 } else {
@@ -136,10 +134,7 @@ impl FidelityReport {
     ///     crate::quantizer::IsiErrorSample::relative_error
     pub fn compare(original: &SpikeTrain, reconstructed: &SpikeTrain) -> FidelityReport {
         let mut errors = Vec::new();
-        for (t, r) in original
-            .inter_spike_intervals()
-            .zip(reconstructed.inter_spike_intervals())
-        {
+        for (t, r) in original.inter_spike_intervals().zip(reconstructed.inter_spike_intervals()) {
             let truth = t.as_secs_f64();
             let rec = r.as_secs_f64();
             let denom = truth.max(rec);
@@ -147,11 +142,8 @@ impl FidelityReport {
                 errors.push((rec - truth).abs() / denom);
             }
         }
-        let mean = if errors.is_empty() {
-            0.0
-        } else {
-            errors.iter().sum::<f64>() / errors.len() as f64
-        };
+        let mean =
+            if errors.is_empty() { 0.0 } else { errors.iter().sum::<f64>() / errors.len() as f64 };
         let max = errors.iter().cloned().fold(0.0f64, f64::max);
         FidelityReport {
             sent: original.len(),
@@ -234,15 +226,14 @@ mod tests {
 
     #[test]
     fn anchored_reception_recovers_wall_clock_gaps() {
-        use aetr_aer::generator::{RegularGenerator, SpikeSource};
         use crate::interface::{AerToI2sInterface, InterfaceConfig};
+        use aetr_aer::generator::{RegularGenerator, SpikeSource};
 
         // Two bursts separated by 200 ms of silence (far beyond the
         // 64 µs measurable range). Delta-only reconstruction collapses
         // the gap; anchored reconstruction restores it at batch
         // resolution.
-        let burst1 =
-            RegularGenerator::from_rate(100_000.0, 4).generate(SimTime::from_ms(2));
+        let burst1 = RegularGenerator::from_rate(100_000.0, 4).generate(SimTime::from_ms(2));
         let burst2: SpikeTrain = RegularGenerator::from_rate(100_000.0, 4)
             .generate(SimTime::from_ms(2))
             .iter()
@@ -257,22 +248,18 @@ mod tests {
         // A shallow watermark so each burst ships promptly — arrival
         // anchoring is only as good as the batching latency.
         let config = InterfaceConfig {
-            fifo: crate::fifo::FifoConfig {
-                watermark: 32,
-                ..crate::fifo::FifoConfig::prototype()
-            },
+            fifo: crate::fifo::FifoConfig { watermark: 32, ..crate::fifo::FifoConfig::prototype() },
             ..InterfaceConfig::prototype()
         };
         let interface = AerToI2sInterface::new(config).expect("valid config");
         let report = interface.run(train, SimTime::from_ms(250));
-        let mcu = McuReceiver::new(interface.config().clock.base_sampling_period())
-            .with_saturation(960); // θ=64, N=3: 64·(2^4−1)
+        let mcu =
+            McuReceiver::new(interface.config().clock.base_sampling_period()).with_saturation(960); // θ=64, N=3: 64·(2^4−1)
 
         let plain = mcu.receive(&report.i2s);
         let anchored = mcu.receive_anchored(&report.i2s);
         let plain_span = plain.last_time().unwrap() - plain.first_time().unwrap();
-        let anchored_span =
-            anchored.last_time().unwrap() - anchored.first_time().unwrap();
+        let anchored_span = anchored.last_time().unwrap() - anchored.first_time().unwrap();
         assert!(
             plain_span < SimDuration::from_ms(10),
             "delta-only reconstruction compresses the gap: {plain_span}"

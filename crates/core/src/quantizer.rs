@@ -130,11 +130,7 @@ pub fn quantize_train(
         })
         .collect();
     engine.finish(horizon);
-    QuantizerOutput {
-        records,
-        activity: to_power_activity(engine.report()),
-        base_period,
-    }
+    QuantizerOutput { records, activity: to_power_activity(engine.report()), base_period }
 }
 
 /// Converts the clock generator's activity report into the power
@@ -235,10 +231,7 @@ mod tests {
         assert_eq!(rebuilt.len(), train.len());
         // Each reconstructed ISI within one divided-period quantum of
         // the true 20 µs (20 µs sits in segment 2: quantum 4·T_min).
-        for (r, t) in rebuilt
-            .inter_spike_intervals()
-            .zip(train.inter_spike_intervals())
-        {
+        for (r, t) in rebuilt.inter_spike_intervals().zip(train.inter_spike_intervals()) {
             let err = (r.as_secs_f64() - t.as_secs_f64()).abs();
             assert!(err <= 4.0 * out.base_period.as_secs_f64() + 1e-12, "err {err}");
         }
@@ -265,10 +258,7 @@ mod tests {
         let events = vec![AetrEvent::new(Address::new(1).unwrap(), Timestamp::SATURATED)];
         let rebuilt = reconstruct_train(&events, SimDuration::from_ns(66), SimTime::ZERO);
         let t = rebuilt.first_time().unwrap();
-        assert_eq!(
-            t,
-            SimTime::ZERO + Timestamp::SATURATED.to_interval(SimDuration::from_ns(66))
-        );
+        assert_eq!(t, SimTime::ZERO + Timestamp::SATURATED.to_interval(SimDuration::from_ns(66)));
     }
 
     #[test]

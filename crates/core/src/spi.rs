@@ -109,9 +109,7 @@ impl SpiSlave {
         // MISO: during the data phase of a read, shift the latched
         // value MSB first; otherwise drive low.
         let miso = match self.shift_out {
-            Some(v) if self.bits > 8 && self.bits <= 40 => {
-                (v >> (40 - self.bits)) & 1 == 1
-            }
+            Some(v) if self.bits > 8 && self.bits <= 40 => (v >> (40 - self.bits)) & 1 == 1,
             _ => false,
         };
 
@@ -228,8 +226,7 @@ mod tests {
         let mut regs = RegisterFile::new();
         let mut spi = SpiSlave::new();
         let before = regs.read(Register::ThetaDiv);
-        let (resp, _) =
-            run_frame(&mut spi, &mut regs, &write_frame(Register::ThetaDiv as u8, 1));
+        let (resp, _) = run_frame(&mut spi, &mut regs, &write_frame(Register::ThetaDiv as u8, 1));
         assert!(matches!(resp, Some(SpiResponse::Rejected(_))));
         assert_eq!(regs.read(Register::ThetaDiv), before);
     }

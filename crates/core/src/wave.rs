@@ -160,11 +160,7 @@ mod tests {
     fn fifo_occupancy_returns_to_zero() {
         let (report, i2s) = run();
         let wave = trace_report(&report, &i2s);
-        let last = wave
-            .tracer
-            .changes_of(wave.fifo_occupancy)
-            .last()
-            .expect("occupancy recorded");
+        let last = wave.tracer.changes_of(wave.fifo_occupancy).last().expect("occupancy recorded");
         assert_eq!(last.value, TraceValue::Vector(0), "everything drains by the end");
     }
 

@@ -163,14 +163,7 @@ mod tests {
 
     #[test]
     fn flicker_toggles_inside_patch_only() {
-        let f = FlickerPatch {
-            cx: 0.5,
-            cy: 0.5,
-            radius: 0.1,
-            freq_hz: 100.0,
-            low: 0.1,
-            high: 1.0,
-        };
+        let f = FlickerPatch { cx: 0.5, cy: 0.5, radius: 0.1, freq_hz: 100.0, low: 0.1, high: 1.0 };
         assert_eq!(f.brightness(0.5, 0.5, 0.001), 1.0); // on phase
         assert_eq!(f.brightness(0.5, 0.5, 0.006), 0.1); // off phase
         assert_eq!(f.brightness(0.9, 0.9, 0.001), 0.1); // outside

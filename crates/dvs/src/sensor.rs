@@ -51,9 +51,7 @@ impl DvsConfig {
             return Err(DvsConfigError::EmptyArray);
         }
         if self.width * self.height * 2 > 1 << 10 {
-            return Err(DvsConfigError::TooManyPixels {
-                pixels: self.width * self.height,
-            });
+            return Err(DvsConfigError::TooManyPixels { pixels: self.width * self.height });
         }
         if self.time_step.is_zero() {
             return Err(DvsConfigError::ZeroTimeStep);
@@ -187,9 +185,8 @@ impl DvsSensor {
             for (i, px) in pixels.iter_mut().enumerate() {
                 let (x, y) = (i % self.config.width, i / self.config.width);
                 // Stagger each pixel inside the step (readout skew).
-                let skew = SimDuration::from_ps(
-                    step.as_ps() * (i as u64 % n_px as u64) / n_px as u64,
-                );
+                let skew =
+                    SimDuration::from_ps(step.as_ps() * (i as u64 % n_px as u64) / n_px as u64);
                 let t = t_base + skew;
                 let b = scene
                     .brightness(
@@ -239,14 +236,8 @@ mod tests {
 
     #[test]
     fn flicker_events_localise_to_the_patch() {
-        let patch = FlickerPatch {
-            cx: 0.25,
-            cy: 0.5,
-            radius: 0.15,
-            freq_hz: 200.0,
-            low: 0.1,
-            high: 1.0,
-        };
+        let patch =
+            FlickerPatch { cx: 0.25, cy: 0.5, radius: 0.15, freq_hz: 200.0, low: 0.1, high: 1.0 };
         let s = sensor();
         let events = s.observe(&patch, SimTime::from_ms(100));
         assert!(!events.is_empty());
@@ -265,10 +256,7 @@ mod tests {
         let fast = DriftingGrating { cycles: 3.0, drift_hz: 20.0, mean: 0.5, contrast: 0.8 };
         let n_slow = sensor().observe(&slow, SimTime::from_ms(200)).len();
         let n_fast = sensor().observe(&fast, SimTime::from_ms(200)).len();
-        assert!(
-            n_fast > n_slow * 3,
-            "drift 2 Hz -> {n_slow} events, 20 Hz -> {n_fast}"
-        );
+        assert!(n_fast > n_slow * 3, "drift 2 Hz -> {n_slow} events, 20 Hz -> {n_fast}");
     }
 
     #[test]
@@ -299,15 +287,10 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(DvsConfig { width: 0, ..DvsConfig::aer10bit() }.validate().is_err());
-        assert!(DvsConfig { width: 40, height: 16, ..DvsConfig::aer10bit() }
+        assert!(DvsConfig { width: 40, height: 16, ..DvsConfig::aer10bit() }.validate().is_err());
+        assert!(DvsConfig { time_step: SimDuration::ZERO, ..DvsConfig::aer10bit() }
             .validate()
             .is_err());
-        assert!(DvsConfig {
-            time_step: SimDuration::ZERO,
-            ..DvsConfig::aer10bit()
-        }
-        .validate()
-        .is_err());
         assert!(DvsConfig::aer10bit().validate().is_ok());
     }
 }

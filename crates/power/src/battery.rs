@@ -111,8 +111,7 @@ impl DutyProfile {
 
     /// Time-weighted average power.
     pub fn average(&self) -> Power {
-        let uw: f64 =
-            self.phases.iter().map(|&(f, p)| f * p.as_microwatts()).sum();
+        let uw: f64 = self.phases.iter().map(|&(f, p)| f * p.as_microwatts()).sum();
         Power::from_microwatts(uw)
     }
 
@@ -167,8 +166,7 @@ mod tests {
 
     #[test]
     fn bad_profiles_rejected() {
-        let err =
-            DutyProfile::new(vec![(0.6, Power::ZERO), (0.6, Power::ZERO)]).unwrap_err();
+        let err = DutyProfile::new(vec![(0.6, Power::ZERO), (0.6, Power::ZERO)]).unwrap_err();
         assert!((err.sum - 1.2).abs() < 1e-12);
         assert!(err.to_string().contains("1.0"));
         assert!(DutyProfile::new(vec![(1.5, Power::ZERO), (-0.5, Power::ZERO)]).is_err());

@@ -102,9 +102,8 @@ pub fn compare(
         .saturating_mul(batches)
         .saturating_add_events(model.per_event_cpu, events);
     let busy = busy.min(span);
-    let batched = model.active * busy
-        + model.sleep * (span - busy)
-        + model.wake_energy * batches as f64;
+    let batched =
+        model.active * busy + model.sleep * (span - busy) + model.wake_energy * batches as f64;
     DownstreamComparison { always_on, batched }
 }
 
@@ -137,8 +136,7 @@ mod tests {
     #[test]
     fn dense_streams_shrink_the_advantage() {
         // 5M events over 10 s: the CPU is busy most of the time anyway.
-        let cmp =
-            compare(&McuPowerModel::stm32l476(), SimDuration::from_secs(10), 5_000_000, 10);
+        let cmp = compare(&McuPowerModel::stm32l476(), SimDuration::from_secs(10), 5_000_000, 10);
         assert!(cmp.saving_factor() < 2.0, "factor {}", cmp.saving_factor());
         // Fully CPU-bound: batching degenerates to always-on plus the
         // (small) wake overhead — factor just under 1.

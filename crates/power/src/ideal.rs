@@ -56,11 +56,7 @@ impl IdealModel {
     /// # Panics
     ///
     /// Panics if `rate_hz` is not strictly positive and finite.
-    pub fn fit_from_high_activity(
-        measured: Power,
-        rate_hz: f64,
-        p_static: Power,
-    ) -> IdealModel {
+    pub fn fit_from_high_activity(measured: Power, rate_hz: f64, p_static: Power) -> IdealModel {
         assert!(rate_hz.is_finite() && rate_hz > 0.0, "rate must be positive, got {rate_hz}");
         let dynamic_uw = (measured - p_static).as_microwatts();
         let e_spike = Energy::from_picojoules(dynamic_uw * 1e6 / rate_hz);

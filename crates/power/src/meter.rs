@@ -49,7 +49,11 @@ pub struct PowerMeter {
 impl PowerMeter {
     /// Creates a meter starting at `start` with the clock off.
     pub fn new(start: SimTime) -> PowerMeter {
-        PowerMeter { activity: ActivityInput::default(), state: ClockState::Off, last_change: start }
+        PowerMeter {
+            activity: ActivityInput::default(),
+            state: ClockState::Off,
+            last_change: start,
+        }
     }
 
     fn accrue(&mut self, now: SimTime) {

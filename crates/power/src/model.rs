@@ -25,9 +25,7 @@ use crate::units::{Energy, Power};
 
 /// Architectural blocks of the interface (Fig. 3), for per-block power
 /// attribution.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Block {
     /// AER front-end: request monitor, synchroniser, address register,
     /// timestamp counter.
@@ -194,11 +192,8 @@ impl PowerModel {
 
         // Clock-tree/dynamic energy: frequency-proportional, so at
         // period multiplier m the power is P_full / m.
-        let clock_energy: Energy = activity
-            .active
-            .iter()
-            .map(|&(m, d)| (self.clock_power_full / m as f64) * d)
-            .sum();
+        let clock_energy: Energy =
+            activity.active.iter().map(|&(m, d)| (self.clock_power_full / m as f64) * d).sum();
         let static_energy = self.static_power * span;
         let event_energy = self.event_energy() * activity.event_count as f64;
         let wake_energy = self.wake_energy * activity.wake_count as f64;
@@ -300,8 +295,7 @@ mod tests {
     #[test]
     fn idle_clock_off_hits_static_floor() {
         let model = PowerModel::igloo_nano();
-        let activity =
-            ActivityInput { off: SimDuration::from_secs(1), ..ActivityInput::default() };
+        let activity = ActivityInput { off: SimDuration::from_secs(1), ..ActivityInput::default() };
         let report = model.evaluate(&activity);
         assert!((report.total.as_microwatts() - 50.0).abs() < 1e-6);
     }

@@ -235,9 +235,8 @@ mod tests {
 
     #[test]
     fn arithmetic_and_sum() {
-        let total: Power = [Power::from_microwatts(10.0), Power::from_microwatts(15.0)]
-            .into_iter()
-            .sum();
+        let total: Power =
+            [Power::from_microwatts(10.0), Power::from_microwatts(15.0)].into_iter().sum();
         assert!((total.as_microwatts() - 25.0).abs() < 1e-12);
         let e: Energy =
             [Energy::from_picojoules(1.0), Energy::from_picojoules(2.0)].into_iter().sum();

@@ -49,8 +49,8 @@ pub mod trace;
 pub mod vcd;
 
 pub use queue::{EventHandle, EventQueue, SchedulePastError};
-pub use time::{Frequency, SimDuration, SimTime};
 pub use stats::OnlineStats;
+pub use time::{Frequency, SimDuration, SimTime};
 pub use trace::{TraceValue, Tracer};
 
 #[cfg(test)]

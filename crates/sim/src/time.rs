@@ -457,10 +457,7 @@ mod tests {
 
     #[test]
     fn saturating_ops_clamp() {
-        assert_eq!(
-            SimTime::ZERO.saturating_duration_since(SimTime::from_ns(5)),
-            SimDuration::ZERO
-        );
+        assert_eq!(SimTime::ZERO.saturating_duration_since(SimTime::from_ns(5)), SimDuration::ZERO);
         assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_ns(1)), SimTime::MAX);
     }
 

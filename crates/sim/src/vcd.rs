@@ -277,10 +277,8 @@ pub fn read_vcd<R: io::Read>(reader: R) -> Result<Tracer, VcdParseError> {
     for (idx, line) in io::BufReader::new(reader).lines().enumerate() {
         let line = line?;
         let line_no = idx + 1;
-        let malformed = |reason: &str| VcdParseError::Malformed {
-            line: line_no,
-            reason: reason.to_owned(),
-        };
+        let malformed =
+            |reason: &str| VcdParseError::Malformed { line: line_no, reason: reason.to_owned() };
         let tokens: Vec<&str> = line.split_whitespace().collect();
         if tokens.is_empty() {
             continue;
@@ -293,16 +291,19 @@ pub fn read_vcd<R: io::Read>(reader: R) -> Result<Tracer, VcdParseError> {
                 }
                 "$var" if tokens.len() >= 5 => {
                     let kind = tokens[1];
-                    let width: u8 = tokens[2]
-                        .parse()
-                        .map_err(|_| malformed("non-numeric var width"))?;
+                    let width: u8 =
+                        tokens[2].parse().map_err(|_| malformed("non-numeric var width"))?;
                     let code = tokens[3].to_owned();
                     let name = tokens[4].to_owned();
                     let scope = {
                         // The writer emits a synthetic "top" scope for
                         // the empty scope; undo that for round-trips.
                         let joined = scope_stack.join(".");
-                        if joined == "top" { String::new() } else { joined }
+                        if joined == "top" {
+                            String::new()
+                        } else {
+                            joined
+                        }
                     };
                     let id = match (kind, width) {
                         ("wire", 1) => tracer.declare_bit(&name, &scope),
@@ -321,9 +322,8 @@ pub fn read_vcd<R: io::Read>(reader: R) -> Result<Tracer, VcdParseError> {
         match tokens[0].chars().next().expect("non-empty token") {
             '$' => {}
             '#' => {
-                let t: u64 = tokens[0][1..]
-                    .parse()
-                    .map_err(|_| malformed("non-numeric timestamp"))?;
+                let t: u64 =
+                    tokens[0][1..].parse().map_err(|_| malformed("non-numeric timestamp"))?;
                 now = crate::time::SimTime::from_ps(t);
             }
             '0' | '1' => {
@@ -349,9 +349,7 @@ pub fn read_vcd<R: io::Read>(reader: R) -> Result<Tracer, VcdParseError> {
                 if tokens.len() != 2 {
                     return Err(malformed("real change needs a code"));
                 }
-                let v: f64 = tokens[0][1..]
-                    .parse()
-                    .map_err(|_| malformed("bad real value"))?;
+                let v: f64 = tokens[0][1..].parse().map_err(|_| malformed("bad real value"))?;
                 let id = *codes.get(tokens[1]).ok_or_else(|| malformed("unknown code"))?;
                 // Skip the writer's r0 initialisation marker at t=0 if
                 // nothing was recorded yet for the signal.

@@ -26,16 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, clock) in [
         ("prototype (θ=64, N=3)", ClockGenConfig::prototype()),
         ("aggressive (θ=16, N=3)", ClockGenConfig::prototype().with_theta_div(16)),
-        (
-            "no-division baseline",
-            ClockGenConfig::prototype().with_policy(DivisionPolicy::Never),
-        ),
+        ("no-division baseline", ClockGenConfig::prototype().with_policy(DivisionPolicy::Never)),
     ] {
         let eval = run_experiment(Pipeline::Quantized, &clock, train_n, test_n)?;
-        println!(
-            "through interface, {name:<24} accuracy {:.0}%",
-            eval.accuracy() * 100.0
-        );
+        println!("through interface, {name:<24} accuracy {:.0}%", eval.accuracy() * 100.0);
     }
 
     println!(

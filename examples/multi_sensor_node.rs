@@ -44,14 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Vision channel: a flickering status LED all along, motion at 300 ms.
     let dvs = DvsSensor::new(DvsConfig::aer10bit())?;
-    let led = FlickerPatch {
-        cx: 0.9,
-        cy: 0.1,
-        radius: 0.05,
-        freq_hz: 120.0,
-        low: 0.2,
-        high: 0.5,
-    };
+    let led = FlickerPatch { cx: 0.9, cy: 0.1, radius: 0.05, freq_hz: 120.0, low: 0.2, high: 0.5 };
     let motion = LateMotion { at: 0.3 };
     struct Both<'a>(&'a FlickerPatch, &'a LateMotion);
     impl Scene for Both<'_> {
@@ -77,17 +70,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let interface = AerToI2sInterface::new(config)?;
     let audio_report = interface.run(audio_spikes, horizon);
     let vision_report = interface.run(vision_spikes, horizon);
-    let node_power = PowerModel::igloo_nano()
-        .evaluate(&audio_report.activity)
-        .total
+    let node_power = PowerModel::igloo_nano().evaluate(&audio_report.activity).total
         + PowerModel::igloo_nano().evaluate(&vision_report.activity).total;
     println!("\nnode interface power (two interfaces): {node_power}");
 
     // MCU: rebuild both timelines with arrival anchoring (fine
     // structure from AETR deltas, wall-clock placement from the MCU's
     // own clock at each batch) and fuse with 100 ms windows.
-    let mcu = McuReceiver::new(interface.config().clock.base_sampling_period())
-        .with_saturation(960); // θ=64, N=3
+    let mcu =
+        McuReceiver::new(interface.config().clock.base_sampling_period()).with_saturation(960); // θ=64, N=3
     let audio_rebuilt = mcu.receive_anchored(&audio_report.i2s);
     let vision_rebuilt = mcu.receive_anchored(&vision_report.i2s);
     let window = SimDuration::from_ms(100);

@@ -30,10 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  power:         {}", report.power.total);
         println!(
             "  max handshake: {} (CAVIAR {caviar})",
-            report
-                .handshake
-                .max_duration()
-                .map_or_else(|| "-".to_owned(), |d| d.to_string())
+            report.handshake.max_duration().map_or_else(|| "-".to_owned(), |d| d.to_string())
         );
         println!("  FIFO:          {}", report.fifo_stats);
         println!(

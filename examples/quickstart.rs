@@ -42,16 +42,10 @@ fn main() {
     // 5. Power: divided clock vs the naive constant-frequency baseline.
     let model = PowerModel::igloo_nano();
     let divided = model.evaluate(&out.activity).total;
-    let naive_out = quantize_train(
-        &config.with_policy(DivisionPolicy::Never),
-        &train,
-        SimTime::from_ms(100),
-    );
+    let naive_out =
+        quantize_train(&config.with_policy(DivisionPolicy::Never), &train, SimTime::from_ms(100));
     let naive = model.evaluate(&naive_out.activity).total;
     println!("power with recursive division: {divided}");
     println!("power with constant clock:     {naive}");
-    println!(
-        "saving: {:.0}%",
-        (1.0 - divided.as_microwatts() / naive.as_microwatts()) * 100.0
-    );
+    println!("saving: {:.0}%", (1.0 - divided.as_microwatts() / naive.as_microwatts()) * 100.0);
 }

@@ -71,12 +71,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 None => {}
             }
         }
-        let est = estimate_itd(
-            &l2.into_iter().collect(),
-            &r2.into_iter().collect(),
-            &itd_cfg,
-        )
-        .expect("tone burst produces spikes");
+        let est = estimate_itd(&l2.into_iter().collect(), &r2.into_iter().collect(), &itd_cfg)
+            .expect("tone burst produces spikes");
         let est_azimuth = itd_to_azimuth_degrees(est.lag_ps, HEAD_RADIUS_M);
         assert_eq!(
             est.lag_ps.signum(),

@@ -33,11 +33,7 @@ impl Scene for Surveillance {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scene = Surveillance {
-        bar: MovingBar::demo(),
-        motion_start: 0.4,
-        motion_end: 0.65,
-    };
+    let scene = Surveillance { bar: MovingBar::demo(), motion_start: 0.4, motion_end: 0.65 };
     let sensor = DvsSensor::new(DvsConfig::aer10bit())?;
     let horizon = SimTime::from_secs(1);
     let events = sensor.observe(&scene, horizon);
@@ -74,10 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let count = rebuilt.window(w_start, w_start + window).len();
         if count >= threshold {
             fired_windows += 1;
-            println!(
-                "  TRIGGER at reconstructed t={} ({} events)",
-                w_start, count
-            );
+            println!("  TRIGGER at reconstructed t={} ({} events)", w_start, count);
         }
         w_start += window;
     }

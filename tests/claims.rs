@@ -31,11 +31,8 @@ fn claim_power_ceiling_at_550kevts() {
 /// Abstract: "down to 50 uW in absence of spikes".
 #[test]
 fn claim_idle_floor_50uw() {
-    let out = quantize_train(
-        &ClockGenConfig::prototype(),
-        &SpikeTrain::new(),
-        SimTime::from_secs(1),
-    );
+    let out =
+        quantize_train(&ClockGenConfig::prototype(), &SpikeTrain::new(), SimTime::from_secs(1));
     let uw = PowerModel::igloo_nano().evaluate(&out.activity).total.as_microwatts();
     assert!((49.0..55.0).contains(&uw), "idle power {uw} uW");
 }
@@ -75,8 +72,7 @@ fn claim_97_percent_accuracy_in_active_region() {
     let train = PoissonGenerator::new(120_000.0, 64, 6).generate(SimTime::from_ms(200));
     let out = quantize_train(&ClockGenConfig::prototype(), &train, SimTime::from_ms(200));
     let samples = isi_error_samples(&out);
-    let mean: f64 =
-        samples.iter().map(|s| s.relative_error()).sum::<f64>() / samples.len() as f64;
+    let mean: f64 = samples.iter().map(|s| s.relative_error()).sum::<f64>() / samples.len() as f64;
     assert!(mean < 0.03, "mean relative error {mean}");
     let median = {
         let mut errs: Vec<f64> = samples.iter().map(|s| s.relative_error()).collect();
@@ -141,10 +137,7 @@ fn claim_near_ideal_at_low_rates() {
         model.static_power,
     );
     let measured = power_at(&proto, 100.0, 10);
-    let gap = ideal.proportionality_gap(
-        aetr_power::units::Power::from_microwatts(measured),
-        100.0,
-    );
+    let gap = ideal.proportionality_gap(aetr_power::units::Power::from_microwatts(measured), 100.0);
     assert!(gap < 2.0, "gap to ideal at 100 evt/s: {gap:.2}x");
 }
 

@@ -18,7 +18,7 @@ fn arbitrary_train() -> impl Strategy<Value = SpikeTrain> {
         let spikes = gaps
             .into_iter()
             .map(|(gap_ps, addr)| {
-                t = t + SimDuration::from_ps(gap_ps);
+                t += SimDuration::from_ps(gap_ps);
                 Spike::new(t, Address::new(addr).expect("range-bounded"))
             })
             .collect();

@@ -90,6 +90,37 @@ fn behavioral_and_des_pipelines_are_deterministic() {
 }
 
 #[test]
+fn fault_injection_is_deterministic() {
+    use aetr_faults::{FaultPlan, FaultRates};
+    let train = PoissonGenerator::new(60_000.0, 64, 5).generate(SimTime::from_ms(10));
+    let interface = AerToI2sInterface::new(InterfaceConfig::prototype()).unwrap();
+    let plan = FaultPlan::nominal(99).with_rates(FaultRates {
+        lost_ack: 0.05,
+        fifo_bit_flip: 0.02,
+        i2s_frame_slip: 0.01,
+        ..FaultRates::default()
+    });
+    let a = interface.run_with_faults(train.clone(), SimTime::from_ms(10), &plan);
+    let b = interface.run_with_faults(train, SimTime::from_ms(10), &plan);
+    assert_eq!(a.health, b.health, "same seed, same health report");
+    assert_eq!(a, b, "same seed, same full report");
+    assert!(!a.health.is_nominal(), "the plan actually injected something");
+}
+
+#[test]
+fn zero_rate_fault_plan_is_invisible() {
+    use aetr_faults::FaultPlan;
+    let train = PoissonGenerator::new(60_000.0, 64, 5).generate(SimTime::from_ms(10));
+    let interface = AerToI2sInterface::new(InterfaceConfig::prototype()).unwrap();
+    let plain = interface.run(train.clone(), SimTime::from_ms(10));
+    // Any seed: a zero-rate injector never consumes a draw.
+    let with_plan =
+        interface.run_with_faults(train, SimTime::from_ms(10), &FaultPlan::nominal(12345));
+    assert_eq!(plain, with_plan, "zero-rate plan must be bit-identical to no injector");
+    assert!(with_plan.health.is_nominal());
+}
+
+#[test]
 fn different_seeds_actually_differ() {
     // Guard against a silently ignored seed parameter.
     let horizon = SimTime::from_ms(20);

@@ -2,8 +2,8 @@
 //! the cycle-accurate discrete-event interface must tell the same
 //! story — timestamps, saturation, wakes, and power.
 
-use aetr::interface::{AerToI2sInterface, InterfaceConfig};
 use aetr::front_end::FrontEndConfig;
+use aetr::interface::{AerToI2sInterface, InterfaceConfig};
 use aetr::quantizer::quantize_train;
 use aetr_aer::generator::{LfsrGenerator, PoissonGenerator, SpikeSource};
 use aetr_clockgen::config::{ClockGenConfig, DivisionPolicy};
@@ -52,8 +52,7 @@ fn wake_counts_agree() {
     let cfg = ideal_front_end(clock);
     // Sparse stream: every event beyond the ~64 us range.
     let train = PoissonGenerator::new(500.0, 8, 37).generate(SimTime::from_ms(200));
-    let des =
-        AerToI2sInterface::new(cfg).unwrap().run(train.clone(), SimTime::from_ms(200));
+    let des = AerToI2sInterface::new(cfg).unwrap().run(train.clone(), SimTime::from_ms(200));
     let behav = quantize_train(&clock, &train, SimTime::from_ms(200));
     let diff = (des.wake_count as i64 - behav.activity.wake_count as i64).abs();
     assert!(
@@ -71,7 +70,7 @@ fn power_agrees_within_ten_percent_across_rates() {
         let clock = ClockGenConfig::prototype();
         let cfg = ideal_front_end(clock);
         let horizon = SimTime::from_ms(ms);
-        let train = LfsrGenerator::new(rate, 0xE0) .generate(horizon);
+        let train = LfsrGenerator::new(rate, 0xE0).generate(horizon);
         let des = AerToI2sInterface::new(cfg).unwrap().run(train.clone(), horizon);
         let behav = quantize_train(&clock, &train, horizon);
         let p_des = des.power.total.as_microwatts();
@@ -88,9 +87,8 @@ fn saturation_flags_agree() {
     let train = PoissonGenerator::new(8_000.0, 16, 41).generate(SimTime::from_ms(100));
     let des = AerToI2sInterface::new(cfg).unwrap().run(train.clone(), SimTime::from_ms(100));
     let behav = quantize_train(&clock, &train, SimTime::from_ms(100));
-    let max_ticks = aetr_clockgen::segments::SegmentTable::new(&clock)
-        .max_counter()
-        .expect("recursive policy");
+    let max_ticks =
+        aetr_clockgen::segments::SegmentTable::new(&clock).max_counter().expect("recursive policy");
     let des_sat =
         des.events.iter().filter(|e| e.event.timestamp.ticks() as u64 == max_ticks).count();
     let behav_sat = behav.records.iter().filter(|r| r.saturated).count();

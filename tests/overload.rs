@@ -51,13 +51,8 @@ fn drop_oldest_policy_keeps_the_freshest_events() {
     let report = interface.run(train, SimTime::from_ms(10));
     assert!(report.fifo_stats.dropped > 0);
     // The newest event always survives under DropOldest.
-    let delivered: Vec<u16> = report
-        .i2s
-        .frames()
-        .iter()
-        .flat_map(|f| f.events())
-        .map(|e| e.addr.value())
-        .collect();
+    let delivered: Vec<u16> =
+        report.i2s.frames().iter().flat_map(|f| f.events()).map(|e| e.addr.value()).collect();
     assert_eq!(delivered.last().copied(), Some(last_addr.value()));
 }
 

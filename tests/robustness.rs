@@ -65,19 +65,12 @@ fn background_noise_raises_power_proportionally() {
     let model = PowerModel::igloo_nano();
     let train = PoissonGenerator::new(5_000.0, 64, 54).generate(SimTime::from_secs(1));
     let horizon = SimTime::from_secs(1);
-    let p_clean = model
-        .evaluate(&quantize_train(&cfg, &train, horizon).activity)
-        .total
-        .as_microwatts();
+    let p_clean =
+        model.evaluate(&quantize_train(&cfg, &train, horizon).activity).total.as_microwatts();
     let noisy = inject_background(&train, 20_000.0, 64, 4);
-    let p_noisy = model
-        .evaluate(&quantize_train(&cfg, &noisy, horizon).activity)
-        .total
-        .as_microwatts();
-    assert!(
-        p_noisy > p_clean * 1.5,
-        "background noise must cost power: {p_clean} -> {p_noisy}"
-    );
+    let p_noisy =
+        model.evaluate(&quantize_train(&cfg, &noisy, horizon).activity).total.as_microwatts();
+    assert!(p_noisy > p_clean * 1.5, "background noise must cost power: {p_clean} -> {p_noisy}");
     // But still energy-proportional: nowhere near the 4.4 mW naive.
     assert!(p_noisy < 2_000.0, "noisy power {p_noisy} uW");
 }
@@ -108,13 +101,7 @@ fn pvt_drift_is_recoverable_by_trim() {
         / nominal.ring.period().as_ps() as f64;
     assert!(drift.abs() > 0.03, "corner should detune noticeably, got {drift}");
 
-    let trimmed = trim_to_target(
-        &nominal.ring,
-        nominal.ring.config_frequency(),
-        corner,
-        3,
-        41,
-    );
+    let trimmed = trim_to_target(&nominal.ring, nominal.ring.config_frequency(), corner, 3, 41);
     assert!(trimmed.error < 0.02, "post-trim error {}", trimmed.error);
 }
 

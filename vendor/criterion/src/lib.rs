@@ -1,0 +1,190 @@
+//! Offline stub of `criterion`.
+//!
+//! Part of the sandboxed-build vendor set (see `vendor/serde/src/lib.rs`
+//! for the rationale). Exposes the subset of the criterion 0.5 API the
+//! `aetr-bench` targets use — groups, throughput annotations,
+//! `bench_function` / `bench_with_input`, and the `criterion_group!` /
+//! `criterion_main!` macros — but measures with a plain
+//! `std::time::Instant` loop and prints one median line per benchmark
+//! instead of running criterion's statistical analysis. Good enough to
+//! keep `cargo bench` functional and the bench code honest; swap in the
+//! real crate for publication-grade numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement loop: `iters` timed batches after `warmup` untimed ones.
+fn measure<O, F: FnMut() -> O>(label: &str, samples: usize, mut routine: F) {
+    let warmup = samples.div_ceil(4).max(1);
+    for _ in 0..warmup {
+        std::hint::black_box(routine());
+    }
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        times.push(start.elapsed());
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    println!("bench {label:<50} median {median:>12.3?} over {samples} samples");
+}
+
+/// Top-level benchmark driver (stub).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function<O, F: FnMut(&mut Bencher) -> O>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&id.into(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the logical throughput of each iteration (printed only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Overrides the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<O, F: FnMut(&mut Bencher) -> O>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        run_bench(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, O, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I) -> O,
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_bench(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_bench<O, F: FnMut(&mut Bencher) -> O>(label: &str, samples: usize, f: &mut F) {
+    let mut bencher = Bencher { samples, label: label.to_string(), ran: false };
+    f(&mut bencher);
+    assert!(bencher.ran, "benchmark {label} never called Bencher::iter");
+}
+
+/// Passed to benchmark closures; `iter` performs the timed loop.
+pub struct Bencher {
+    samples: usize,
+    label: String,
+    ran: bool,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, routine: F) {
+        self.ran = true;
+        measure(&self.label, self.samples, routine);
+    }
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `group/parameter` style id.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// `name/parameter` style id.
+    pub fn new(name: impl Into<String>, p: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), p))
+    }
+}
+
+/// Logical work per iteration (accepted, not currently printed).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Re-export for parity with criterion's `black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions, with or without a
+/// customized [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Expands to `main` running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,215 @@
+//! Offline stub of the `rand` facade.
+//!
+//! Part of the sandboxed-build vendor set (see `vendor/serde/src/lib.rs`
+//! for the rationale). The workspace uses `rand` exclusively as a
+//! *seeded, deterministic* stream source — every construction is
+//! `StdRng::seed_from_u64(seed)`; there is no entropy, thread-local RNG,
+//! or distribution machinery in play. The stub therefore implements:
+//!
+//! - [`rngs::StdRng`] backed by SplitMix64 (Steele, Lea & Flood 2014) —
+//!   a different generator from upstream's ChaCha12, but the workspace
+//!   only promises *determinism per seed*, not a particular stream;
+//! - [`SeedableRng::seed_from_u64`] / [`SeedableRng::from_seed`];
+//! - [`Rng::gen`] for `f64` (53-bit mantissa-uniform in `[0, 1)`), the
+//!   integer primitives, and `bool`;
+//! - [`Rng::gen_range`] over half-open integer ranges (Lemire-style
+//!   widening multiply, bias negligible at these range sizes).
+//!
+//! Statistical tests in the workspace assert distribution *properties*
+//! (rates within tolerance, jitter RMS bounds), not golden values tied
+//! to ChaCha streams, so the substitution is behaviour-preserving at
+//! the test level.
+
+use std::ops::Range;
+
+/// Core RNG interface: everything derives from a 64-bit word stream.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types that can be sampled uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from the standard distribution for `Self`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 high bits -> uniform on [0, 1) with full mantissa coverage.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types usable as [`Rng::gen_range`] bounds.
+pub trait UniformInt: Copy {
+    /// Uniform draw from `[low, high)`; callers guarantee `low < high`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: $t, high: $t) -> $t {
+                let span = (high as u64).wrapping_sub(low as u64);
+                // Widening multiply maps 64 random bits onto the span
+                // with bias < span / 2^64 — immaterial for simulation.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                low.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Convenience sampling methods, blanket-implemented for every core RNG.
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution for `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, matching upstream behaviour.
+    fn gen_range<T: UniformInt + PartialOrd>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "cannot sample empty range");
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Draws `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Byte-array seed type (fixed at 32 bytes for [`rngs::StdRng`]).
+    type Seed;
+
+    /// Constructs the RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the RNG from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Stub RNG implementations.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    ///
+    /// Passes BigCrush as a component generator and is more than
+    /// adequate for simulation workloads; NOT cryptographically secure,
+    /// unlike the upstream ChaCha12-based `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut first = [0u8; 8];
+            first.copy_from_slice(&seed[..8]);
+            Self::seed_from_u64(u64::from_le_bytes(first))
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            // One scramble round so that small consecutive seeds do not
+            // produce correlated opening draws.
+            let mut rng = StdRng { state };
+            let _ = rng.next_u64();
+            StdRng { state: rng.state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 16];
+        for _ in 0..1_000 {
+            let v: u16 = rng.gen_range(0..16u16);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 16 values reachable");
+    }
+}

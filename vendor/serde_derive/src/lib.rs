@@ -1,0 +1,19 @@
+//! Offline stub of `serde_derive`.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` expand to nothing:
+//! the companion `serde` stub blanket-implements both marker traits, so
+//! there is no impl to generate. Declaring `attributes(serde)` keeps
+//! any future `#[serde(...)]` field attributes from being rejected by
+//! the compiler as unknown.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
