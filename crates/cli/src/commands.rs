@@ -39,6 +39,12 @@ USAGE:
                     [--surface protocol|datapath|all] [--seed N]
                     [--min-fault-rate P] [--max-fault-rate P]
                     (fault-rate sweep: accuracy/power degradation curves)
+  aetr-cli telemetry [--rate <evt/s>] [--duration-ms N] [--seed N]
+                    [--generator poisson|burst] [--cadence-us N]
+                    [--format json|prometheus|chrome-trace] [--out file]
+                    (instrumented DES run: metrics, spans, time series)
+  aetr-cli validate <file.json> --schema <schema.json>
+                    (offline JSON-schema check, e.g. telemetry output)
   aetr-cli waveform [--theta N] [--ndiv N] [--out file.vcd]
   aetr-cli resources
 
@@ -59,6 +65,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
         Some("record") => cmd_record(args),
         Some("sweep") => cmd_sweep(args),
         Some("faults") => cmd_faults(args),
+        Some("telemetry") => cmd_telemetry(args),
+        Some("validate") => cmd_validate(args),
         Some("waveform") => cmd_waveform(args),
         Some("resources") => Ok(UtilizationReport::prototype().to_string()),
         _ => Err(USAGE.into()),
@@ -321,7 +329,106 @@ fn cmd_faults(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
         result.baseline_power_uw,
     );
     text.push_str(&table.to_ascii());
+    // Same metric names as an instrumented `aetr-cli telemetry` run
+    // (`InterfaceHealthReport::metrics` is the single source of truth),
+    // so dashboards built on either output work on both.
+    if let Some(worst) = result.points.last() {
+        let _ = writeln!(text, "health metrics at fault rate {}:", fmt_sig(worst.fault_rate));
+        for (name, value) in worst.health.metrics() {
+            let _ = writeln!(text, "  {name} {value}");
+        }
+    }
     Ok(text)
+}
+
+fn cmd_telemetry(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    use aetr::interface::{AerToI2sInterface, InterfaceConfig, TelemetryConfig};
+    use aetr_aer::generator::BurstGenerator;
+    use aetr_faults::FaultPlan;
+
+    let rate: f64 = args.get_or("rate", 50_000.0, "number")?;
+    let duration_ms: u64 = args.get_or("duration-ms", 10, "integer")?;
+    let seed: u64 = args.get_or("seed", 1, "integer")?;
+    let cadence_us: u64 = args.get_or("cadence-us", 100, "integer")?;
+    if cadence_us == 0 {
+        return Err("--cadence-us must be positive".into());
+    }
+    let config = InterfaceConfig { clock: clock_config(args)?, ..InterfaceConfig::prototype() };
+    let horizon = SimTime::from_ms(duration_ms);
+    let generator = args.get_str("generator").unwrap_or("poisson");
+    let train = match generator {
+        "poisson" => PoissonGenerator::new(rate, 64, seed).generate(horizon),
+        "burst" => BurstGenerator::new(
+            rate,
+            0.0,
+            SimDuration::from_ms(1),
+            SimDuration::from_ms(3),
+            64,
+            seed,
+        )
+        .generate(horizon),
+        other => {
+            return Err(Box::new(ArgsError::InvalidValue {
+                flag: "generator".into(),
+                value: other.into(),
+                expected: "generator (poisson|burst)",
+            }))
+        }
+    };
+    let interface = AerToI2sInterface::new(config)?;
+    let report = interface.run_with_telemetry(
+        train,
+        horizon,
+        &FaultPlan::nominal(seed),
+        &TelemetryConfig::with_cadence(SimDuration::from_us(cadence_us)),
+    );
+    let format = args.get_str("format").unwrap_or("json");
+    let text = match format {
+        "json" => report.telemetry.to_json().to_string(),
+        "prometheus" => report.telemetry.to_prometheus(),
+        "chrome-trace" => report.telemetry.to_chrome_trace(),
+        other => {
+            return Err(Box::new(ArgsError::InvalidValue {
+                flag: "format".into(),
+                value: other.into(),
+                expected: "format (json|prometheus|chrome-trace)",
+            }))
+        }
+    };
+    match args.get_str("out") {
+        None => Ok(text),
+        Some(out) => {
+            fs::write(out, &text)?;
+            let mut summary = format!("wrote {} bytes ({format}) -> {out}\n", text.len());
+            let _ = writeln!(summary, "clock residency over {duration_ms} ms:");
+            for (state, d) in report.telemetry.clock_residency() {
+                let _ = writeln!(summary, "  {state:<9} {d}");
+            }
+            Ok(summary)
+        }
+    }
+}
+
+fn cmd_validate(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    use aetr_telemetry::json;
+
+    let path = args.positional.first().ok_or("validate needs a .json file argument")?;
+    let schema_path =
+        args.get_str("schema").ok_or("validate needs --schema <schema.json>")?.to_owned();
+    let doc = json::parse(&fs::read_to_string(path)?).map_err(|e| format!("{path}: {e}"))?;
+    let schema = json::parse(&fs::read_to_string(&schema_path)?)
+        .map_err(|e| format!("{schema_path}: {e}"))?;
+    let violations = json::validate(&doc, &schema);
+    if violations.is_empty() {
+        Ok(format!("{path}: valid against {schema_path}"))
+    } else {
+        Err(format!(
+            "{path}: {} schema violation(s):\n  {}",
+            violations.len(),
+            violations.join("\n  ")
+        )
+        .into())
+    }
 }
 
 fn cmd_waveform(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
@@ -399,8 +506,11 @@ mod tests {
         .unwrap();
         assert!(text.contains("baseline: accuracy"), "{text}");
         assert!(text.contains("fault rate"), "{text}");
-        assert_eq!(text.lines().count(), 6, "{text}"); // baseline + header + rule + 3 rows
-                                                       // Deterministic: running the identical line again reproduces it.
+        // baseline + header + rule + 3 rows + metrics header + 17
+        // `interface.health.*` lines (shared with `telemetry` runs).
+        assert_eq!(text.lines().count(), 24, "{text}");
+        assert!(text.contains("interface.health.lost_acks"), "{text}");
+        // Deterministic: running the identical line again reproduces it.
         let again = run_line(&[
             "faults",
             "--points",
@@ -440,6 +550,67 @@ mod tests {
         assert!(text.contains("replaying"), "{text}");
         assert!(text.contains("theta_div=32"), "{text}");
         let _ = fs::remove_file(dir);
+    }
+
+    fn schema_path() -> String {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../schemas/telemetry.schema.json").to_owned()
+    }
+
+    #[test]
+    fn telemetry_emits_schema_valid_json() {
+        use aetr_telemetry::json;
+        let text = run_line(&["telemetry", "--rate", "50000", "--duration-ms", "5"]).unwrap();
+        let doc = json::parse(&text).expect("telemetry output parses as JSON");
+        let schema = json::parse(&fs::read_to_string(schema_path()).unwrap()).unwrap();
+        assert!(json::validate(&doc, &schema).is_empty());
+        assert!(doc.get("metrics").and_then(|m| m.get("counters")).is_some());
+    }
+
+    #[test]
+    fn telemetry_prometheus_and_chrome_trace_formats() {
+        let prom =
+            run_line(&["telemetry", "--duration-ms", "5", "--format", "prometheus"]).unwrap();
+        assert!(prom.contains("# TYPE interface_events_captured counter"), "{prom}");
+        let trace =
+            run_line(&["telemetry", "--duration-ms", "5", "--format", "chrome-trace"]).unwrap();
+        let doc = aetr_telemetry::json::parse(&trace).expect("chrome trace parses");
+        assert!(doc.get("traceEvents").and_then(|e| e.as_array()).is_some());
+        let err = run_line(&["telemetry", "--format", "yaml"]).unwrap_err();
+        assert!(err.to_string().contains("format"), "{err}");
+    }
+
+    #[test]
+    fn telemetry_out_reports_clock_residency() {
+        let out = std::env::temp_dir().join("aetr_cli_telemetry.json");
+        let text = run_line(&[
+            "telemetry",
+            "--generator",
+            "burst",
+            "--rate",
+            "200000",
+            "--duration-ms",
+            "10",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(text.contains("clock residency"), "{text}");
+        assert!(text.contains("sleep"), "{text}");
+        assert!(fs::read_to_string(&out).unwrap().starts_with('{'));
+        let _ = fs::remove_file(out);
+    }
+
+    #[test]
+    fn validate_accepts_telemetry_output_and_rejects_garbage() {
+        let out = std::env::temp_dir().join("aetr_cli_validate.json");
+        let p = out.to_str().unwrap().to_owned();
+        run_line(&["telemetry", "--duration-ms", "5", "--out", &p]).unwrap();
+        let text = run_line(&["validate", &p, "--schema", &schema_path()]).unwrap();
+        assert!(text.contains("valid against"), "{text}");
+        fs::write(&out, "{\"version\": \"nope\"}").unwrap();
+        let err = run_line(&["validate", &p, "--schema", &schema_path()]).unwrap_err();
+        assert!(err.to_string().contains("schema violation"), "{err}");
+        let _ = fs::remove_file(out);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! aetr-cli replay recording.aedat
 //! aetr-cli sweep --points 12
 //! aetr-cli waveform --theta 8 --ndiv 3 --out fig2.vcd
+//! aetr-cli telemetry --generator burst --format chrome-trace --out trace.json
 //! aetr-cli resources
 //! ```
 

@@ -120,6 +120,15 @@ impl SamplerFsm {
         self.counter
     }
 
+    /// Current recursive-division level `cnt_div` (0 at full rate,
+    /// up to `N_div` just before shutdown).
+    ///
+    /// The telemetry sampler reports this as the instantaneous divider
+    /// level; it always satisfies `multiplier() == 1 << division_level()`.
+    pub fn division_level(&self) -> u32 {
+        self.cnt_div
+    }
+
     /// `true` after shutdown, until [`wake`](SamplerFsm::wake).
     pub fn is_asleep(&self) -> bool {
         self.asleep

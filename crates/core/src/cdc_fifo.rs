@@ -50,7 +50,10 @@ pub const fn gray_to_binary(mut g: u32) -> u32 {
 /// Configuration of the dual-clock FIFO.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CdcFifoConfig {
-    /// Depth in entries; must be a power of two (Gray pointers wrap).
+    /// Capacity in entries; must be a power of two (Gray pointers
+    /// wrap). Named `depth` for hardware familiarity, but per the
+    /// shared vocabulary ([`fifo`](crate::fifo) module docs) this is
+    /// *capacity*, not occupancy.
     pub depth: usize,
     /// Write-domain clock period (the variable sampling clock's
     /// *fastest* period for worst-case analysis).
@@ -299,7 +302,14 @@ impl<T> CdcFifo<T> {
         wr.saturating_sub(rd).min(self.config.depth as u64)
     }
 
-    /// True occupancy (omniscient; tests and assertions only).
+    /// True occupancy (omniscient; tests and assertions only) — the
+    /// canonical "depth" of this buffer in the shared vocabulary of
+    /// the [`fifo`](crate::fifo) module docs, equivalent to
+    /// [`AetrFifo::len`](crate::fifo::AetrFifo::len). The per-domain
+    /// [`occupancy_seen_by_writer`](Self::occupancy_seen_by_writer) /
+    /// [`occupancy_seen_by_reader`](Self::occupancy_seen_by_reader)
+    /// views are deliberately stale bounds on this value, never the
+    /// depth itself.
     pub fn true_occupancy(&self) -> usize {
         self.storage.len()
     }

@@ -4,6 +4,27 @@
 //! in block" in a 9.2 kB SRAM FIFO (Fig. 3): events accumulate while
 //! the rest of the system stays clock-gated, and once a configurable
 //! threshold is reached the batch is drained to the I2S interface.
+//!
+//! # Depth vocabulary
+//!
+//! The two FIFO models in this crate ([`AetrFifo`] here and
+//! [`CdcFifo`](crate::cdc_fifo::CdcFifo)) share one definition so
+//! reports and telemetry are comparable:
+//!
+//! * **capacity** — the configured maximum number of entries
+//!   ([`FifoConfig::capacity_events`]; `CdcFifoConfig::depth`);
+//! * **occupancy** (= "depth" in a snapshot) — the number of entries
+//!   *actually buffered right now*: [`AetrFifo::len`] /
+//!   [`CdcFifo::true_occupancy`](crate::cdc_fifo::CdcFifo::true_occupancy).
+//!   The CDC model additionally exposes per-domain *views* of
+//!   occupancy that are deliberately stale; those are never what
+//!   "depth" means.
+//!
+//! Everything derived follows the same rule: telemetry's
+//! `interface.fifo.occupancy` gauge and `interface.fifo.depth`
+//! histogram sample [`AetrFifo::len`], and
+//! [`FifoStats::high_watermark`] is the maximum occupancy ever
+//! observed — none of them refer to capacity.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -93,7 +114,7 @@ pub struct FifoStats {
     pub popped: u64,
     /// Events lost to overflow.
     pub dropped: u64,
-    /// Highest occupancy observed.
+    /// Highest occupancy ([`AetrFifo::len`]) observed.
     pub high_watermark: usize,
     /// Number of times the drain watermark was crossed upward.
     pub watermark_crossings: u64,
@@ -172,7 +193,8 @@ impl AetrFifo {
         &self.config
     }
 
-    /// Current occupancy in events.
+    /// Current occupancy in events — the canonical "depth" of the
+    /// buffer (see the [module docs](self) for the shared vocabulary).
     pub fn len(&self) -> usize {
         self.queue.len()
     }

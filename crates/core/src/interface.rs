@@ -31,6 +31,9 @@ use aetr_power::meter::PowerMeter;
 use aetr_power::model::{ActivityInput, PowerModel, PowerReport};
 use aetr_sim::queue::EventQueue;
 use aetr_sim::time::{SimDuration, SimTime};
+use aetr_telemetry::registry::{CounterId, GaugeId, HistogramId};
+use aetr_telemetry::span::{OpenSpan, SpanKind};
+pub use aetr_telemetry::{Telemetry, TelemetryConfig, TelemetrySnapshot};
 
 use crate::aetr_format::{AetrEvent, Timestamp};
 use crate::config_bus::RegisterFile;
@@ -157,6 +160,11 @@ pub struct InterfaceReport {
     pub wake_count: u64,
     /// Fault and recovery counters (all-zero in a fault-free run).
     pub health: InterfaceHealthReport,
+    /// Telemetry captured during the run
+    /// ([empty](TelemetrySnapshot::is_empty) unless the run was started
+    /// through [`run_with_telemetry`](AerToI2sInterface::run_with_telemetry)
+    /// with an enabled config).
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// Scheduled DES events.
@@ -230,7 +238,12 @@ impl AerToI2sInterface {
     /// `horizon` is reached (power is integrated over `[0, horizon]`
     /// or to the last activity, whichever is later).
     pub fn run(&self, train: SpikeTrain, horizon: SimTime) -> InterfaceReport {
-        Runner::new(&self.config, &self.power_model, train, horizon, &FaultPlan::nominal(0)).run()
+        self.run_with_telemetry(
+            train,
+            horizon,
+            &FaultPlan::nominal(0),
+            &TelemetryConfig::disabled(),
+        )
     }
 
     /// Like [`run`](Self::run), with faults injected per `plan` and
@@ -251,7 +264,27 @@ impl AerToI2sInterface {
         horizon: SimTime,
         plan: &FaultPlan,
     ) -> InterfaceReport {
-        Runner::new(&self.config, &self.power_model, train, horizon, plan).run()
+        self.run_with_telemetry(train, horizon, plan, &TelemetryConfig::disabled())
+    }
+
+    /// Like [`run_with_faults`](Self::run_with_faults), with telemetry
+    /// collection per `telemetry`.
+    ///
+    /// Telemetry is purely observational: with any config — including a
+    /// fully enabled one — every functional field of the returned
+    /// report (events, handshakes, FIFO statistics, I2S stream,
+    /// activity, power, wakes, health) is bit-identical to what
+    /// [`run`](Self::run) produces, because the collector schedules no
+    /// queue events and mutates no simulation state. A disabled config
+    /// is a no-op sink and yields [`TelemetrySnapshot::empty`].
+    pub fn run_with_telemetry(
+        &self,
+        train: SpikeTrain,
+        horizon: SimTime,
+        plan: &FaultPlan,
+        telemetry: &TelemetryConfig,
+    ) -> InterfaceReport {
+        Runner::new(&self.config, &self.power_model, train, horizon, plan, telemetry).run()
     }
 
     /// Like [`run`](Self::run), with SPI register writes applied at
@@ -275,10 +308,146 @@ impl AerToI2sInterface {
             writes.windows(2).all(|w| w[1].0 >= w[0].0),
             "reconfiguration writes must be time-sorted"
         );
-        let mut runner =
-            Runner::new(&self.config, &self.power_model, train, horizon, &FaultPlan::nominal(0));
+        let mut runner = Runner::new(
+            &self.config,
+            &self.power_model,
+            train,
+            horizon,
+            &FaultPlan::nominal(0),
+            &TelemetryConfig::disabled(),
+        );
         runner.schedule_reconfigs(writes);
         runner.run()
+    }
+}
+
+/// Telemetry state of a run: the collector plus pre-registered metric
+/// handles and open-span bookkeeping.
+///
+/// Boxed behind an `Option` in the [`Runner`]: a disabled run carries
+/// `None`, so every instrumentation site is a single pointer test and
+/// the hot path does no metric-name lookup ever — handles are resolved
+/// once here (DESIGN.md §11's "lock-free on the hot path" contract).
+struct TelState {
+    tel: Telemetry,
+    // Counters (names mirror the tracer scopes).
+    events_captured: CounterId,
+    divisions: CounterId,
+    wakes: CounterId,
+    shutdowns: CounterId,
+    fifo_pushed: CounterId,
+    fifo_dropped: CounterId,
+    handshakes: CounterId,
+    i2s_frames: CounterId,
+    // Gauges / histograms.
+    fifo_occupancy: GaugeId,
+    fifo_depth: HistogramId,
+    capture_latency: HistogramId,
+    // Clock-generator residency: the currently open interval.
+    clock_since: SimTime,
+    clock_state: &'static str,
+    clock_arg: Option<u64>,
+    // Open spans (at most one of each kind is in flight by protocol).
+    handshake_open: Option<OpenSpan>,
+    wake_open: Option<OpenSpan>,
+    ack_recovery_open: Option<OpenSpan>,
+    wake_recovery_open: Option<OpenSpan>,
+    // Next due time of the live sampler (`None` = sampling off).
+    next_sample: Option<SimTime>,
+}
+
+impl TelState {
+    /// Builds a collector for an enabled config; `None` for a disabled
+    /// one (the whole telemetry path then disappears behind one branch).
+    fn new(config: &TelemetryConfig) -> Option<Box<TelState>> {
+        if !config.enabled {
+            return None;
+        }
+        let mut tel = Telemetry::new(*config);
+        let m = &mut tel.metrics;
+        let events_captured = m.counter("interface.events.captured");
+        let divisions = m.counter("interface.clockgen.divisions");
+        let wakes = m.counter("interface.clockgen.wakes");
+        let shutdowns = m.counter("interface.clockgen.shutdowns");
+        let fifo_pushed = m.counter("interface.fifo.pushed");
+        let fifo_dropped = m.counter("interface.fifo.dropped");
+        let handshakes = m.counter("interface.handshake.completed");
+        let i2s_frames = m.counter("interface.i2s.frames");
+        let fifo_occupancy = m.gauge("interface.fifo.occupancy");
+        // Depth buckets up to the prototype's 2304-event capacity.
+        let fifo_depth =
+            m.histogram("interface.fifo.depth", vec![1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0]);
+        // REQ-to-capture latency; base tick is 66.7 ns, saturation
+        // pushes sparse events to milliseconds.
+        let capture_latency = m.histogram(
+            "interface.handshake.capture_latency_ns",
+            vec![100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0, 10_000_000.0],
+        );
+        let next_sample = tel.sample_cadence().map(|c| SimTime::ZERO + c);
+        Some(Box::new(TelState {
+            tel,
+            events_captured,
+            divisions,
+            wakes,
+            shutdowns,
+            fifo_pushed,
+            fifo_dropped,
+            handshakes,
+            i2s_frames,
+            fifo_occupancy,
+            fifo_depth,
+            capture_latency,
+            clock_since: SimTime::ZERO,
+            clock_state: "full-rate",
+            clock_arg: Some(1),
+            handshake_open: None,
+            wake_open: None,
+            ack_recovery_open: None,
+            wake_recovery_open: None,
+            next_sample,
+        }))
+    }
+
+    /// Closes the current clock-residency interval at `t` and opens a
+    /// new one, unless the state is unchanged.
+    fn clock_transition(&mut self, t: SimTime, state: &'static str, arg: Option<u64>) {
+        if self.clock_state == state && self.clock_arg == arg {
+            return;
+        }
+        self.tel.spans.record(
+            SpanKind::ClockState,
+            self.clock_state,
+            self.clock_since,
+            t,
+            self.clock_arg,
+        );
+        self.clock_since = t;
+        self.clock_state = state;
+        self.clock_arg = arg;
+    }
+
+    /// Finalises the collector: closes the last residency interval at
+    /// `end`, folds the health counters into the registry under their
+    /// shared `interface.health.*` names, and snapshots.
+    fn finish(
+        mut self,
+        end: SimTime,
+        health: &InterfaceHealthReport,
+        queue_ops: u64,
+    ) -> TelemetrySnapshot {
+        self.tel.spans.record(
+            SpanKind::ClockState,
+            self.clock_state,
+            self.clock_since,
+            end,
+            self.clock_arg,
+        );
+        for (name, value) in health.metrics() {
+            let id = self.tel.metrics.counter(name);
+            self.tel.metrics.inc(id, value);
+        }
+        let sim_events = self.tel.metrics.counter_value(self.events_captured);
+        self.tel.into_snapshot(sim_events, queue_ops)
     }
 }
 
@@ -324,6 +493,8 @@ struct Runner<'a> {
     /// The watchdog gave up on pausable clocking (`N_div` clamped,
     /// clock never sleeps again).
     degraded: bool,
+    /// Telemetry collector (`None` when disabled — the no-op sink).
+    tel: Option<Box<TelState>>,
 }
 
 impl<'a> Runner<'a> {
@@ -333,6 +504,7 @@ impl<'a> Runner<'a> {
         train: SpikeTrain,
         horizon: SimTime,
         plan: &FaultPlan,
+        telemetry: &TelemetryConfig,
     ) -> Runner<'a> {
         let mut meter = PowerMeter::new(SimTime::ZERO);
         meter.clock_multiplier(SimTime::ZERO, 1);
@@ -362,6 +534,7 @@ impl<'a> Runner<'a> {
             health: HealthMonitor::new(),
             pending_ack: None,
             degraded: false,
+            tel: TelState::new(telemetry),
         }
     }
 
@@ -373,6 +546,12 @@ impl<'a> Runner<'a> {
         self.schedule_next_request();
 
         while let Some((t, ev)) = self.queue.pop() {
+            // Emit any live samples due strictly before this event:
+            // between events the DES state is constant, so sampling the
+            // pre-event state at those instants is exact — and the
+            // sampler never touches the queue, keeping enabled runs
+            // functionally identical to disabled ones.
+            self.sample_until(t);
             match ev {
                 Ev::ReqRise => self.on_req_rise(t),
                 Ev::Tick => self.on_tick(t),
@@ -391,19 +570,35 @@ impl<'a> Runner<'a> {
             }
         }
 
+        // The event loop is over; emit the remaining samples up to and
+        // including the horizon against the final state.
+        self.sample_until(self.horizon.saturating_add(SimDuration::from_ps(1)));
+
         // Drain whatever is left in the FIFO so the report reflects the
         // complete stream (the hardware would keep draining too).
         let mut t = self.queue.now().max(self.i2s.busy_until());
         while !self.fifo.is_empty() {
+            let start = t;
             let first = self.fifo.pop().expect("checked non-empty");
             let second = self.fifo.pop();
+            let pair = 1 + u64::from(second.is_some());
             t = self.i2s.send_pair(t, first, second).expect("sequential drain cannot overlap");
             self.maybe_slip_frame();
+            if let Some(ts) = self.tel.as_deref_mut() {
+                ts.tel.metrics.inc(ts.i2s_frames, 1);
+                ts.tel.spans.record(SpanKind::I2sFrame, "frame", start, t, Some(pair));
+                ts.tel.metrics.set_gauge(ts.fifo_occupancy, self.fifo.len() as f64);
+            }
         }
 
         let end = self.horizon.max(self.queue.now()).max(t);
         let activity = self.meter.finish(end);
         let power = self.power_model.evaluate(&activity);
+        let health = self.health.report();
+        let telemetry = match self.tel.take() {
+            Some(ts) => ts.finish(end, &health, self.queue.ops()),
+            None => TelemetrySnapshot::empty(),
+        };
         InterfaceReport {
             events: self.events,
             handshake: self.log,
@@ -412,8 +607,34 @@ impl<'a> Runner<'a> {
             activity,
             power,
             wake_count: self.wake_count,
-            health: self.health.report(),
+            health,
+            telemetry,
         }
+    }
+
+    /// Records live samples at every due instant strictly before `t`.
+    ///
+    /// No-op unless telemetry with a sampling cadence is enabled. The
+    /// sampled state (event count, instantaneous power, divider level,
+    /// FIFO depth) is constant over `(previous event, t)`, so each due
+    /// point gets exact values without scheduling anything.
+    fn sample_until(&mut self, t: SimTime) {
+        let due = match self.tel.as_deref().and_then(|ts| ts.next_sample) {
+            Some(d) if d < t => d,
+            _ => return,
+        };
+        let multiplier = if self.fsm.is_asleep() { None } else { Some(self.fsm.multiplier()) };
+        let power_uw = self.power_model.instantaneous_power(multiplier).as_microwatts();
+        let events_total = self.events.len() as u64;
+        let fifo_depth = self.fifo.len() as u64;
+        let ts = self.tel.as_deref_mut().expect("checked above");
+        let cadence = ts.tel.sample_cadence().expect("sampler is active");
+        let mut due = due;
+        while due < t {
+            ts.tel.series.record(due, events_total, power_uw, multiplier.unwrap_or(0), fifo_depth);
+            due += cadence;
+        }
+        ts.next_sample = Some(due);
     }
 
     fn schedule_reconfigs(&mut self, writes: &[(SimTime, crate::config_bus::Register, u32)]) {
@@ -457,9 +678,17 @@ impl<'a> Runner<'a> {
         self.meter.wake();
         self.wake_count += 1;
         self.wake_frozen = Some(self.fsm.counter());
+        if let Some(ts) = self.tel.as_deref_mut() {
+            ts.tel.metrics.inc(ts.wakes, 1);
+            ts.wake_open = Some(ts.tel.spans.open(SpanKind::Wake, "wake", t));
+        }
         let due = t + self.cfg.clock.ring.wake_latency;
         if self.injector.fail_wake() {
             self.health.wake_failure();
+            if let Some(ts) = self.tel.as_deref_mut() {
+                ts.wake_recovery_open =
+                    Some(ts.tel.spans.open(SpanKind::WatchdogRecovery, "wake-recovery", t));
+            }
             self.queue
                 .schedule_at(due + self.watchdog.wake_timeout, Ev::WakeCheck(0))
                 .expect("wake check is in the future");
@@ -478,6 +707,9 @@ impl<'a> Runner<'a> {
         let spike = self.sender.begin(t);
         self.monitor.req_rise(t, spike.addr);
         self.current_request = Some(t);
+        if let Some(ts) = self.tel.as_deref_mut() {
+            ts.handshake_open = Some(ts.tel.spans.open(SpanKind::Handshake, "4-phase", t));
+        }
         if self.fsm.is_asleep() {
             // REQ asynchronously restarts the ring oscillator.
             self.schedule_wake(t);
@@ -486,6 +718,15 @@ impl<'a> Runner<'a> {
 
     fn on_wake_done(&mut self, t: SimTime) {
         self.meter.clock_multiplier(t, 1);
+        if let Some(ts) = self.tel.as_deref_mut() {
+            ts.clock_transition(t, "full-rate", Some(1));
+            if let Some(h) = ts.wake_open.take() {
+                ts.tel.spans.close(h, t);
+            }
+            if let Some(h) = ts.wake_recovery_open.take() {
+                ts.tel.spans.close(h, t);
+            }
+        }
         let frozen = self.fsm.wake();
         debug_assert_eq!(Some(frozen), self.wake_frozen);
         // First tick one base period after the oscillator stabilises.
@@ -503,6 +744,10 @@ impl<'a> Runner<'a> {
                     self.health.oscillator_stall();
                     self.fsm.force_shutdown();
                     self.meter.clock_off(t);
+                    if let Some(ts) = self.tel.as_deref_mut() {
+                        ts.tel.metrics.inc(ts.shutdowns, 1);
+                        ts.clock_transition(t, "sleep", None);
+                    }
                     // A latched REQ holds the wake input, so recovery
                     // starts immediately — unless an unresolved ACK is
                     // keeping REQ high, in which case the next fresh
@@ -528,13 +773,24 @@ impl<'a> Runner<'a> {
             FsmAction::Sampled { timestamp_ticks } => {
                 let ticks = self.wake_frozen.take().unwrap_or(timestamp_ticks);
                 self.meter.clock_multiplier(t, 1); // reset to T_min
+                if let Some(ts) = self.tel.as_deref_mut() {
+                    ts.clock_transition(t, "full-rate", Some(1));
+                }
                 self.capture_event(t, ticks);
             }
             FsmAction::Divided { multiplier } => {
                 self.meter.clock_multiplier(t, multiplier);
+                if let Some(ts) = self.tel.as_deref_mut() {
+                    ts.tel.metrics.inc(ts.divisions, 1);
+                    ts.clock_transition(t, "divided", Some(multiplier));
+                }
             }
             FsmAction::ShutDown => {
                 self.meter.clock_off(t);
+                if let Some(ts) = self.tel.as_deref_mut() {
+                    ts.tel.metrics.inc(ts.shutdowns, 1);
+                    ts.clock_transition(t, "sleep", None);
+                }
                 // If REQ is already high (request still crossing the
                 // synchroniser), it holds the ring oscillator's wake
                 // input: the clock restarts immediately, and the event
@@ -572,6 +828,11 @@ impl<'a> Runner<'a> {
         };
         self.events.push(TimestampedEvent { request, detection: t, event });
         self.meter.event(1);
+        if let Some(ts) = self.tel.as_deref_mut() {
+            ts.tel.metrics.inc(ts.events_captured, 1);
+            let latency_ns = t.saturating_duration_since(request).as_ns() as f64;
+            ts.tel.metrics.observe(ts.capture_latency, latency_ns);
+        }
 
         // Route through the crossbar into the FIFO. An injected bit
         // flip corrupts the stored word only — the captured event above
@@ -583,8 +844,23 @@ impl<'a> Runner<'a> {
         }
         if self.crossbar.route(SourcePort::FrontEnd, word) == Some(SinkPort::BufferIn) {
             let stored = AetrEvent::from_word(word);
-            if self.fifo.push(stored).lost_an_event() {
+            let outcome = self.fifo.push(stored);
+            if outcome.lost_an_event() {
                 self.health.fifo_drop();
+            }
+            if let Some(ts) = self.tel.as_deref_mut() {
+                // Mirror `FifoStats` semantics exactly: `pushed` counts
+                // stored events, `dropped` counts losses of either
+                // overflow flavour.
+                if outcome.incoming_stored() {
+                    ts.tel.metrics.inc(ts.fifo_pushed, 1);
+                }
+                if outcome.lost_an_event() {
+                    ts.tel.metrics.inc(ts.fifo_dropped, 1);
+                }
+                let depth = self.fifo.len() as f64;
+                ts.tel.metrics.set_gauge(ts.fifo_occupancy, depth);
+                ts.tel.metrics.observe(ts.fifo_depth, depth);
             }
         }
         self.regs.set_status(self.fifo.len() as u32);
@@ -598,6 +874,10 @@ impl<'a> Runner<'a> {
         if self.injector.lose_ack() {
             self.health.lost_ack();
             self.pending_ack = Some(t);
+            if let Some(ts) = self.tel.as_deref_mut() {
+                ts.ack_recovery_open =
+                    Some(ts.tel.spans.open(SpanKind::WatchdogRecovery, "ack-recovery", t));
+            }
             self.queue
                 .schedule_at(t + self.watchdog.ack_timeout, Ev::AckRetry(0))
                 .expect("ack retry is in the future");
@@ -629,6 +909,12 @@ impl<'a> Runner<'a> {
             std::mem::swap(&mut txn.ack_rise, &mut txn.req_fall);
         }
         self.log.push(txn);
+        if let Some(ts) = self.tel.as_deref_mut() {
+            ts.tel.metrics.inc(ts.handshakes, 1);
+            if let Some(h) = ts.handshake_open.take() {
+                ts.tel.spans.close(h, ack_fall);
+            }
+        }
         if self.injector.stick_req() {
             // REQ fails to fall: the synchroniser latch stays set and
             // the next tick would re-sample a phantom copy.
@@ -655,6 +941,16 @@ impl<'a> Runner<'a> {
                 // handshake record is lost.
                 self.health.handshake_aborted();
                 self.pending_ack = None;
+                if let Some(ts) = self.tel.as_deref_mut() {
+                    if let Some(h) = ts.ack_recovery_open.take() {
+                        ts.tel.spans.close_with(h, t, Some(u64::from(attempt + 1)));
+                    }
+                    if let Some(h) = ts.handshake_open.take() {
+                        // The handshake never completed; the span ends
+                        // at the abort.
+                        ts.tel.spans.close(h, t);
+                    }
+                }
                 self.sender.abort(t);
                 self.monitor.req_fall();
                 self.schedule_next_request();
@@ -669,6 +965,11 @@ impl<'a> Runner<'a> {
         } else {
             self.health.ack_recovered();
             self.pending_ack = None;
+            if let Some(ts) = self.tel.as_deref_mut() {
+                if let Some(h) = ts.ack_recovery_open.take() {
+                    ts.tel.spans.close_with(h, t, Some(u64::from(attempt + 1)));
+                }
+            }
             self.complete_handshake(t);
         }
     }
@@ -730,6 +1031,12 @@ impl<'a> Runner<'a> {
         }
         let done = self.i2s.send_pair(start, first, second).expect("drain respects busy_until");
         self.maybe_slip_frame();
+        if let Some(ts) = self.tel.as_deref_mut() {
+            let pair = 1 + u64::from(second.is_some());
+            ts.tel.metrics.inc(ts.i2s_frames, 1);
+            ts.tel.spans.record(SpanKind::I2sFrame, "frame", start, done, Some(pair));
+            ts.tel.metrics.set_gauge(ts.fifo_occupancy, self.fifo.len() as f64);
+        }
         self.regs.set_status(self.fifo.len() as u32);
         self.queue.schedule_at(done, Ev::FrameDone).expect("frame completes in the future");
     }

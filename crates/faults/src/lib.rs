@@ -444,6 +444,35 @@ impl InterfaceHealthReport {
         *self == InterfaceHealthReport::default()
     }
 
+    /// The report as `(metric name, value)` pairs under the
+    /// `interface.health.*` hierarchy.
+    ///
+    /// This is the single source of truth for health metric names: the
+    /// telemetry registry in normal runs and the `aetr-cli faults`
+    /// campaign output both emit exactly these, so dashboards built on
+    /// one work on the other. `degraded` is exported as a 0/1 value.
+    pub fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("interface.health.lost_acks", self.lost_acks),
+            ("interface.health.ack_retries", self.ack_retries),
+            ("interface.health.acks_recovered", self.acks_recovered),
+            ("interface.health.handshakes_aborted", self.handshakes_aborted),
+            ("interface.health.stuck_requests", self.stuck_requests),
+            ("interface.health.spurious_samples", self.spurious_samples),
+            ("interface.health.malformed_transactions", self.malformed_transactions),
+            ("interface.health.wake_failures", self.wake_failures),
+            ("interface.health.wake_retries", self.wake_retries),
+            ("interface.health.forced_wakes", self.forced_wakes),
+            ("interface.health.oscillator_stalls", self.oscillator_stalls),
+            ("interface.health.fifo_bit_flips", self.fifo_bit_flips),
+            ("interface.health.fifo_drops", self.fifo_drops),
+            ("interface.health.frame_slips", self.frame_slips),
+            ("interface.health.events_lost_to_slips", self.events_lost_to_slips),
+            ("interface.health.cdc_upsets", self.cdc_upsets),
+            ("interface.health.degraded", u64::from(self.degraded)),
+        ]
+    }
+
     /// Total faults *injected* (recovery actions not included).
     pub fn faults_injected(&self) -> u64 {
         self.lost_acks

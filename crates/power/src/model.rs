@@ -181,6 +181,29 @@ impl PowerModel {
         self.blocks.values().map(|b| b.event_energy).sum()
     }
 
+    /// Instantaneous power draw in a given clock state.
+    ///
+    /// `multiplier` is the current period multiplier of the sampling
+    /// clock — `None` while the ring oscillator is off (sleep), where
+    /// only static leakage remains; `Some(m)` contributes the
+    /// frequency-proportional clock-tree power `P_clk_full / m`.
+    /// Per-event and per-wake energies are impulses, not sustained
+    /// draw, so they are excluded; this is the quantity the telemetry
+    /// live sampler reports between events.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Some(0)` — a zero multiplier is not a clock state.
+    pub fn instantaneous_power(&self, multiplier: Option<u64>) -> Power {
+        match multiplier {
+            None => self.static_power,
+            Some(m) => {
+                assert!(m > 0, "period multiplier must be positive");
+                self.static_power + self.clock_power_full / m as f64
+            }
+        }
+    }
+
     /// Evaluates average power and energy over an activity record.
     ///
     /// # Panics

@@ -94,6 +94,7 @@ pub struct EventQueue<E> {
     cancelled: HashSet<EventHandle>,
     now: SimTime,
     next_seq: u64,
+    ops: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -110,7 +111,18 @@ impl<E> EventQueue<E> {
             cancelled: HashSet::new(),
             now: SimTime::ZERO,
             next_seq: 0,
+            ops: 0,
         }
+    }
+
+    /// Lifetime count of queue operations (successful schedules plus
+    /// pops of live events).
+    ///
+    /// This is the denominator for the telemetry profiling hook "queue
+    /// ops per wall-clock second"; it is monotone and survives
+    /// [`clear`](EventQueue::clear).
+    pub fn ops(&self) -> u64 {
+        self.ops
     }
 
     /// Current simulation time: the activation time of the most recently
@@ -145,6 +157,7 @@ impl<E> EventQueue<E> {
         let handle = EventHandle(self.next_seq);
         self.heap.push(Reverse(Entry { time: at, seq: self.next_seq, handle, event }));
         self.next_seq += 1;
+        self.ops += 1;
         Ok(handle)
     }
 
@@ -193,6 +206,7 @@ impl<E> EventQueue<E> {
             }
             debug_assert!(entry.time >= self.now, "event queue went backwards");
             self.now = entry.time;
+            self.ops += 1;
             return Some((entry.time, entry.event));
         }
         None
@@ -311,6 +325,20 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.now(), SimTime::from_ns(5));
+    }
+
+    #[test]
+    fn ops_counts_schedules_and_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.ops(), 0);
+        let a = q.schedule_at(SimTime::from_ns(1), ()).unwrap();
+        q.schedule_at(SimTime::from_ns(2), ()).unwrap();
+        assert_eq!(q.ops(), 2);
+        q.cancel(a);
+        q.pop(); // pops the live event only
+        assert_eq!(q.ops(), 3);
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.ops(), 3, "popping nothing is not an op");
     }
 
     #[test]

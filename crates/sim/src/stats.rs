@@ -214,3 +214,69 @@ mod tests {
         OnlineStats::new().add(f64::NAN);
     }
 }
+
+#[cfg(test)]
+mod merge_properties {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    /// Tolerant equality for accumulator states: counts and extrema
+    /// exact, mean/variance within floating-point reassociation noise.
+    fn assert_close(a: &OnlineStats, b: &OnlineStats) {
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.min(), b.min());
+        assert_eq!(a.max(), b.max());
+        let scale = 1.0 + a.mean().abs().max(b.mean().abs());
+        assert!((a.mean() - b.mean()).abs() <= 1e-9 * scale, "mean {} vs {}", a.mean(), b.mean());
+        let vscale = 1.0 + a.population_variance().abs().max(b.population_variance().abs());
+        assert!(
+            (a.population_variance() - b.population_variance()).abs() <= 1e-6 * vscale,
+            "variance {} vs {}",
+            a.population_variance(),
+            b.population_variance()
+        );
+    }
+
+    fn samples() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(-1e6..1e6f64, 0..40)
+    }
+
+    proptest! {
+        #[test]
+        fn merge_is_commutative(xs in samples(), ys in samples()) {
+            let a: OnlineStats = xs.iter().copied().collect();
+            let b: OnlineStats = ys.iter().copied().collect();
+            let mut ab = a;
+            ab.merge(&b);
+            let mut ba = b;
+            ba.merge(&a);
+            assert_close(&ab, &ba);
+        }
+
+        #[test]
+        fn merge_is_associative(xs in samples(), ys in samples(), zs in samples()) {
+            let a: OnlineStats = xs.iter().copied().collect();
+            let b: OnlineStats = ys.iter().copied().collect();
+            let c: OnlineStats = zs.iter().copied().collect();
+            // (a ∪ b) ∪ c
+            let mut left = a;
+            left.merge(&b);
+            left.merge(&c);
+            // a ∪ (b ∪ c)
+            let mut bc = b;
+            bc.merge(&c);
+            let mut right = a;
+            right.merge(&bc);
+            assert_close(&left, &right);
+        }
+
+        #[test]
+        fn merge_equals_sequential_accumulation(xs in samples(), ys in samples()) {
+            let mut merged: OnlineStats = xs.iter().copied().collect();
+            merged.merge(&ys.iter().copied().collect());
+            let sequential: OnlineStats = xs.iter().chain(&ys).copied().collect();
+            assert_close(&merged, &sequential);
+        }
+    }
+}

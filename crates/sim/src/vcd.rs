@@ -236,8 +236,12 @@ impl From<io::Error> for VcdParseError {
 
 /// Parses a VCD document (the subset emitted by [`write_vcd`]: 1 ps
 /// timescale, wire/real vars, `#time` change blocks) back into a
-/// [`Tracer`]. Unknown (`x`) initial values are skipped, mirroring the
-/// writer's `$dumpvars` prologue.
+/// [`Tracer`]. Initial values inside the `$dumpvars … $end` prologue
+/// are skipped — unknown (`x`) bits/vectors everywhere, and *all* real
+/// inits there, because VCD has no unknown syntax for reals and the
+/// writer's `r0` markers mean "no value recorded yet", not a genuine
+/// `0.0` sample. A real `0.0` recorded at time zero lives in the
+/// change section (after `#0`) and round-trips intact.
 ///
 /// # Errors
 ///
@@ -272,6 +276,7 @@ pub fn read_vcd<R: io::Read>(reader: R) -> Result<Tracer, VcdParseError> {
     let mut codes: HashMap<String, crate::trace::SignalId> = HashMap::new();
     let mut scope_stack: Vec<String> = Vec::new();
     let mut in_definitions = true;
+    let mut in_dumpvars = false;
     let mut now = crate::time::SimTime::ZERO;
 
     for (idx, line) in io::BufReader::new(reader).lines().enumerate() {
@@ -320,7 +325,11 @@ pub fn read_vcd<R: io::Read>(reader: R) -> Result<Tracer, VcdParseError> {
         }
         // Change section (also contains $dumpvars/$end markers).
         match tokens[0].chars().next().expect("non-empty token") {
-            '$' => {}
+            '$' => match tokens[0] {
+                "$dumpvars" => in_dumpvars = true,
+                "$end" => in_dumpvars = false,
+                _ => {}
+            },
             '#' => {
                 let t: u64 =
                     tokens[0][1..].parse().map_err(|_| malformed("non-numeric timestamp"))?;
@@ -351,12 +360,11 @@ pub fn read_vcd<R: io::Read>(reader: R) -> Result<Tracer, VcdParseError> {
                 }
                 let v: f64 = tokens[0][1..].parse().map_err(|_| malformed("bad real value"))?;
                 let id = *codes.get(tokens[1]).ok_or_else(|| malformed("unknown code"))?;
-                // Skip the writer's r0 initialisation marker at t=0 if
-                // nothing was recorded yet for the signal.
-                if now == crate::time::SimTime::ZERO
-                    && v == 0.0
-                    && tracer.changes_of(id).next().is_none()
-                {
+                // Reals have no unknown (`x`) syntax, so the writer's
+                // `$dumpvars` prologue uses `r0` as a "nothing recorded
+                // yet" marker; only there is it a marker — an `r0`
+                // after `#0` is a genuine 0.0 sample and is kept.
+                if in_dumpvars {
                     continue;
                 }
                 tracer.record(now, id, TraceValue::Real(v));
@@ -413,6 +421,48 @@ mod reader_tests {
         t.record(SimTime::from_ps(12), clk, TraceValue::Bit(false));
 
         let back = roundtrip(&t);
+        assert_eq!(canonical(&back), canonical(&t));
+    }
+
+    #[test]
+    fn real_zero_at_time_zero_survives_roundtrip() {
+        // Regression: the old parser treated any `r0` at t=0 as the
+        // writer's init marker and silently dropped genuine samples.
+        let mut t = Tracer::new();
+        let p = t.declare_real("power", "meter");
+        t.record(SimTime::ZERO, p, TraceValue::Real(0.0));
+        t.record(SimTime::from_ps(5), p, TraceValue::Real(2.5));
+        t.record(SimTime::from_ps(9), p, TraceValue::Real(0.0));
+        let back = roundtrip(&t);
+        assert_eq!(back.changes().len(), 3, "every recorded edge survives");
+        assert_eq!(canonical(&back), canonical(&t));
+    }
+
+    #[test]
+    fn non_finite_reals_roundtrip() {
+        let mut t = Tracer::new();
+        let r = t.declare_real("ratio", "");
+        t.record(SimTime::from_ps(1), r, TraceValue::Real(f64::NAN));
+        t.record(SimTime::from_ps(2), r, TraceValue::Real(f64::INFINITY));
+        t.record(SimTime::from_ps(3), r, TraceValue::Real(f64::NEG_INFINITY));
+        let back = roundtrip(&t);
+        assert_eq!(back.changes().len(), 3);
+        assert_eq!(canonical(&back), canonical(&t));
+    }
+
+    #[test]
+    fn recorded_edge_count_is_preserved_for_every_kind() {
+        let mut t = Tracer::new();
+        let clk = t.declare_bit("clk", "iface");
+        let bus = t.declare_vector("bus", "iface", 8);
+        let p = t.declare_real("power", "iface");
+        for i in 0..10u64 {
+            t.record(SimTime::from_ps(i * 10), clk, TraceValue::Bit(i % 2 == 0));
+            t.record(SimTime::from_ps(i * 10 + 1), bus, TraceValue::Vector(i));
+            t.record(SimTime::from_ps(i * 10 + 2), p, TraceValue::Real(i as f64 * 0.5));
+        }
+        let back = roundtrip(&t);
+        assert_eq!(back.changes().len(), t.changes().len());
         assert_eq!(canonical(&back), canonical(&t));
     }
 

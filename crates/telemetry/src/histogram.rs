@@ -1,0 +1,224 @@
+//! Fixed-bucket histograms built on [`OnlineStats`].
+//!
+//! The registry needs distribution summaries (FIFO depth, inter-event
+//! intervals, handshake latencies) without buffering samples. A
+//! [`FixedHistogram`] owns a sorted list of bucket upper edges plus an
+//! [`OnlineStats`] accumulator, so it answers both "how many samples
+//! fell at or below X" (prometheus `le` semantics) and "what was the
+//! mean/std/extrema" in O(1) memory.
+
+use aetr_sim::stats::OnlineStats;
+use serde::{Deserialize, Serialize};
+
+/// Cumulative-style fixed-bucket histogram.
+///
+/// Bucket edges are *inclusive upper bounds*: a sample `v` lands in the
+/// first bucket whose edge satisfies `v <= edge` (prometheus `le`
+/// semantics), so a value exactly equal to a bucket edge counts in that
+/// bucket, not the next one. Samples above the last edge land in the
+/// implicit overflow bucket.
+///
+/// Non-finite samples (NaN, ±∞) are never mixed into the buckets or the
+/// running statistics — they would poison the mean and produce
+/// meaningless bucket placements — and are instead tallied in
+/// [`non_finite`](FixedHistogram::non_finite).
+///
+/// # Examples
+///
+/// ```
+/// use aetr_telemetry::histogram::FixedHistogram;
+///
+/// let mut h = FixedHistogram::new(vec![1.0, 10.0, 100.0]);
+/// h.observe(1.0); // == first edge -> first bucket
+/// h.observe(5.0);
+/// h.observe(1e6); // overflow
+/// h.observe(f64::NAN); // non-finite, quarantined
+/// assert_eq!(h.bucket_counts(), &[1, 1, 0]);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.non_finite(), 1);
+/// assert_eq!(h.stats().count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixedHistogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    overflow: u64,
+    non_finite: u64,
+    stats: OnlineStats,
+}
+
+impl FixedHistogram {
+    /// Creates a histogram with the given inclusive upper edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty, unsorted, contains duplicates, or
+    /// contains a non-finite edge — every edge must be a usable `le`
+    /// threshold.
+    pub fn new(edges: Vec<f64>) -> FixedHistogram {
+        assert!(!edges.is_empty(), "histogram needs at least one bucket edge");
+        for pair in edges.windows(2) {
+            assert!(pair[0] < pair[1], "bucket edges must be strictly increasing");
+        }
+        assert!(edges.iter().all(|e| e.is_finite()), "bucket edges must be finite");
+        let counts = vec![0; edges.len()];
+        FixedHistogram { edges, counts, overflow: 0, non_finite: 0, stats: OnlineStats::new() }
+    }
+
+    /// Convenience constructor: `n` exponentially growing edges
+    /// starting at `first` with the given `ratio` (e.g. powers of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`, `first <= 0`, or `ratio <= 1`.
+    pub fn exponential(first: f64, ratio: f64, n: usize) -> FixedHistogram {
+        assert!(n > 0 && first > 0.0 && ratio > 1.0, "invalid exponential bucket spec");
+        let mut edges = Vec::with_capacity(n);
+        let mut e = first;
+        for _ in 0..n {
+            edges.push(e);
+            e *= ratio;
+        }
+        FixedHistogram::new(edges)
+    }
+
+    /// Records one sample.
+    ///
+    /// Finite samples update exactly one bucket (binary search over the
+    /// edges) and the running statistics; non-finite samples only bump
+    /// the [`non_finite`](FixedHistogram::non_finite) tally.
+    pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
+        match self.edges.iter().position(|e| v <= *e) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+        self.stats.add(v);
+    }
+
+    /// Inclusive upper edges, in increasing order.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Per-bucket sample counts (same order as [`edges`](Self::edges)).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples above the last edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// NaN/±∞ samples that were quarantined.
+    pub fn non_finite(&self) -> u64 {
+        self.non_finite
+    }
+
+    /// Running statistics over the finite samples.
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+
+    /// Total finite samples recorded (buckets + overflow).
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Cumulative count at or below each edge (prometheus `le` series).
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0;
+        self.counts
+            .iter()
+            .map(|c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_on_edge_lands_in_that_bucket() {
+        let mut h = FixedHistogram::new(vec![1.0, 2.0, 4.0]);
+        h.observe(1.0);
+        h.observe(2.0);
+        h.observe(4.0);
+        assert_eq!(h.bucket_counts(), &[1, 1, 1]);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn just_above_edge_lands_in_next_bucket() {
+        let mut h = FixedHistogram::new(vec![1.0, 2.0]);
+        h.observe(1.0 + f64::EPSILON * 2.0);
+        assert_eq!(h.bucket_counts(), &[0, 1]);
+    }
+
+    #[test]
+    fn below_first_edge_lands_in_first_bucket() {
+        let mut h = FixedHistogram::new(vec![1.0, 2.0]);
+        h.observe(-50.0);
+        assert_eq!(h.bucket_counts(), &[1, 0]);
+    }
+
+    #[test]
+    fn above_last_edge_overflows() {
+        let mut h = FixedHistogram::new(vec![1.0]);
+        h.observe(1.5);
+        assert_eq!(h.bucket_counts(), &[0]);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn nan_and_infinities_are_quarantined() {
+        let mut h = FixedHistogram::new(vec![1.0, 2.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NEG_INFINITY);
+        assert_eq!(h.non_finite(), 3);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.bucket_counts(), &[0, 0]);
+        assert_eq!(h.overflow(), 0);
+        // Stats stay clean: a later finite sample gives a finite mean.
+        h.observe(1.5);
+        assert_eq!(h.count(), 1);
+        assert!(h.stats().mean().is_finite());
+    }
+
+    #[test]
+    fn cumulative_counts_are_monotone() {
+        let mut h = FixedHistogram::new(vec![1.0, 2.0, 3.0]);
+        for v in [0.5, 1.5, 1.7, 2.5, 9.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.cumulative(), vec![1, 3, 4]);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn exponential_edges() {
+        let h = FixedHistogram::exponential(1.0, 2.0, 4);
+        assert_eq!(h.edges(), &[1.0, 2.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_edges_panic() {
+        FixedHistogram::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_edge_panics() {
+        FixedHistogram::new(vec![1.0, f64::INFINITY]);
+    }
+}

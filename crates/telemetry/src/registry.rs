@@ -1,0 +1,242 @@
+//! Handle-based metrics registry.
+//!
+//! The simulation kernel is a single-threaded event loop that turns
+//! over millions of events per wall-clock second, so the hot path must
+//! never hash a metric name or allocate. Metrics are therefore
+//! *registered once* up front — registration returns a typed integer
+//! handle ([`CounterId`], [`GaugeId`], [`HistogramId`]) — and every
+//! record operation is a bare `Vec` index plus an add/store. Name
+//! resolution, sorting, and formatting only happen at registration and
+//! export time, off the hot path.
+//!
+//! Names are hierarchical dotted paths mirroring the tracer scopes
+//! (`interface.clockgen.divisions`, `interface.fifo.occupancy`, …); see
+//! DESIGN.md §11 for the naming scheme.
+
+use crate::histogram::FixedHistogram;
+use serde::{Deserialize, Serialize};
+
+/// Handle to a registered monotonically increasing counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterId(usize);
+
+/// Handle to a registered last-value gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered fixed-bucket histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramId(usize);
+
+/// Registry of counters, gauges, and histograms.
+///
+/// # Examples
+///
+/// ```
+/// use aetr_telemetry::registry::MetricsRegistry;
+///
+/// let mut reg = MetricsRegistry::new();
+/// let pushes = reg.counter("interface.fifo.pushed");
+/// let depth = reg.gauge("interface.fifo.occupancy");
+/// reg.inc(pushes, 3);
+/// reg.set_gauge(depth, 42.0);
+/// assert_eq!(reg.counter_value(pushes), 3);
+/// assert_eq!(reg.gauge_value(depth), Some(42.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    counter_names: Vec<String>,
+    counters: Vec<u64>,
+    gauge_names: Vec<String>,
+    gauges: Vec<Option<f64>>,
+    histogram_names: Vec<String>,
+    histograms: Vec<FixedHistogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or re-resolves) a counter by hierarchical name.
+    ///
+    /// Registering the same name twice returns the same handle, so
+    /// independent subsystems may share a counter.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counter_names.iter().position(|n| n == name) {
+            return CounterId(i);
+        }
+        self.counter_names.push(name.to_string());
+        self.counters.push(0);
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers (or re-resolves) a gauge by hierarchical name.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauge_names.iter().position(|n| n == name) {
+            return GaugeId(i);
+        }
+        self.gauge_names.push(name.to_string());
+        self.gauges.push(None);
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers (or re-resolves) a histogram by hierarchical name.
+    ///
+    /// On first registration the provided bucket edges are installed;
+    /// re-registration keeps the existing buckets.
+    pub fn histogram(&mut self, name: &str, edges: Vec<f64>) -> HistogramId {
+        if let Some(i) = self.histogram_names.iter().position(|n| n == name) {
+            return HistogramId(i);
+        }
+        self.histogram_names.push(name.to_string());
+        self.histograms.push(FixedHistogram::new(edges));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Adds `n` to a counter. Hot path: one index + add.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0] += n;
+    }
+
+    /// Stores the latest value of a gauge. Hot path: one index + store.
+    #[inline]
+    pub fn set_gauge(&mut self, id: GaugeId, v: f64) {
+        self.gauges[id.0] = Some(v);
+    }
+
+    /// Records a histogram sample. Hot path: one index + bucket search
+    /// over the (small, fixed) edge list.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, v: f64) {
+        self.histograms[id.0].observe(v);
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0]
+    }
+
+    /// Latest value of a gauge (`None` if never set).
+    pub fn gauge_value(&self, id: GaugeId) -> Option<f64> {
+        self.gauges[id.0]
+    }
+
+    /// Read access to a histogram.
+    pub fn histogram_value(&self, id: HistogramId) -> &FixedHistogram {
+        &self.histograms[id.0]
+    }
+
+    /// Looks up a counter value by name (export/test convenience).
+    pub fn counter_by_name(&self, name: &str) -> Option<u64> {
+        self.counter_names.iter().position(|n| n == name).map(|i| self.counters[i])
+    }
+
+    /// Looks up a gauge value by name (export/test convenience).
+    pub fn gauge_by_name(&self, name: &str) -> Option<f64> {
+        self.gauge_names.iter().position(|n| n == name).and_then(|i| self.gauges[i])
+    }
+
+    /// Looks up a histogram by name (export/test convenience).
+    pub fn histogram_by_name(&self, name: &str) -> Option<&FixedHistogram> {
+        self.histogram_names.iter().position(|n| n == name).map(|i| &self.histograms[i])
+    }
+
+    /// All counters as `(name, value)` pairs sorted by name.
+    pub fn counters(&self) -> Vec<(&str, u64)> {
+        let mut v: Vec<_> = self
+            .counter_names
+            .iter()
+            .map(String::as_str)
+            .zip(self.counters.iter().copied())
+            .collect();
+        v.sort_by_key(|(n, _)| *n);
+        v
+    }
+
+    /// All set gauges as `(name, value)` pairs sorted by name.
+    pub fn gauges(&self) -> Vec<(&str, f64)> {
+        let mut v: Vec<_> = self
+            .gauge_names
+            .iter()
+            .map(String::as_str)
+            .zip(self.gauges.iter())
+            .filter_map(|(n, g)| g.map(|g| (n, g)))
+            .collect();
+        v.sort_by_key(|(n, _)| *n);
+        v
+    }
+
+    /// All histograms as `(name, histogram)` pairs sorted by name.
+    pub fn histograms(&self) -> Vec<(&str, &FixedHistogram)> {
+        let mut v: Vec<_> =
+            self.histogram_names.iter().map(String::as_str).zip(self.histograms.iter()).collect();
+        v.sort_by_key(|(n, _)| *n);
+        v
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("a.b.c");
+        reg.inc(c, 1);
+        reg.inc(c, 41);
+        assert_eq!(reg.counter_value(c), 42);
+        assert_eq!(reg.counter_by_name("a.b.c"), Some(42));
+        assert_eq!(reg.counter_by_name("missing"), None);
+    }
+
+    #[test]
+    fn duplicate_registration_shares_the_metric() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.counter("shared");
+        let b = reg.counter("shared");
+        assert_eq!(a, b);
+        reg.inc(a, 1);
+        reg.inc(b, 1);
+        assert_eq!(reg.counter_value(a), 2);
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let mut reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        assert_eq!(reg.gauge_value(g), None);
+        reg.set_gauge(g, 1.0);
+        reg.set_gauge(g, 7.5);
+        assert_eq!(reg.gauge_value(g), Some(7.5));
+    }
+
+    #[test]
+    fn histograms_record_through_the_registry() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", vec![1.0, 10.0]);
+        reg.observe(h, 0.5);
+        reg.observe(h, 5.0);
+        reg.observe(h, 50.0);
+        let hist = reg.histogram_value(h);
+        assert_eq!(hist.bucket_counts(), &[1, 1]);
+        assert_eq!(hist.overflow(), 1);
+    }
+
+    #[test]
+    fn listings_are_sorted_by_name() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("z.last");
+        reg.counter("a.first");
+        let names: Vec<_> = reg.counters().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["a.first", "z.last"]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Live sampling of the interface on a simulated-time cadence.
+//!
+//! End-of-run aggregates hide the *trajectory* of energy
+//! proportionality: the paper's claim is that power tracks the
+//! instantaneous event rate. The sampler snapshots rate, power, divider
+//! level, and FIFO depth every `cadence` of simulated time into a
+//! [`TimeSeries`] that `analysis`/`bench` (and `aetr-cli telemetry`)
+//! can plot or export.
+
+use aetr_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::json::Json;
+
+/// One sampled point of interface state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplePoint {
+    /// Simulated time of the sample.
+    pub t: SimTime,
+    /// Cumulative events captured up to `t`.
+    pub events_total: u64,
+    /// Event rate over the window since the previous sample (Hz).
+    pub rate_hz: f64,
+    /// Instantaneous power draw at `t` (µW); see
+    /// `PowerModel::instantaneous_power` for what this includes.
+    pub power_uw: f64,
+    /// Clock divider multiplier at `t` (1 = full rate, 0 = oscillator
+    /// off / sleeping).
+    pub divider_multiplier: u64,
+    /// FIFO depth at `t` using the canonical definition (true
+    /// occupancy; see `AetrFifo::len`).
+    pub fifo_depth: u64,
+}
+
+/// Uniform-cadence time series of [`SamplePoint`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    cadence: SimDuration,
+    points: Vec<SamplePoint>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with the given sampling cadence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero cadence (the sampler would never advance).
+    pub fn new(cadence: SimDuration) -> TimeSeries {
+        assert!(!cadence.is_zero(), "sampling cadence must be positive");
+        TimeSeries { cadence, points: Vec::new() }
+    }
+
+    /// The configured sampling cadence.
+    pub fn cadence(&self) -> SimDuration {
+        self.cadence
+    }
+
+    /// Recorded points in time order.
+    pub fn points(&self) -> &[SamplePoint] {
+        &self.points
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing has been sampled.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Records a sample at `t`, deriving the event rate from the
+    /// previous point (or from simulated time zero for the first one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` does not advance past the previous sample.
+    pub fn record(
+        &mut self,
+        t: SimTime,
+        events_total: u64,
+        power_uw: f64,
+        divider_multiplier: u64,
+        fifo_depth: u64,
+    ) {
+        let (t0, e0) = match self.points.last() {
+            Some(p) => {
+                assert!(p.t < t, "samples must advance in time");
+                (p.t, p.events_total)
+            }
+            None => (SimTime::ZERO, 0),
+        };
+        let window = t.saturating_duration_since(t0).as_secs_f64();
+        let rate_hz =
+            if window > 0.0 { events_total.saturating_sub(e0) as f64 / window } else { 0.0 };
+        self.points.push(SamplePoint {
+            t,
+            events_total,
+            rate_hz,
+            power_uw,
+            divider_multiplier,
+            fifo_depth,
+        });
+    }
+
+    /// Serialises the series for the JSON export.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("cadence_ps", Json::from(self.cadence.as_ps())),
+            (
+                "points",
+                Json::Array(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Json::object([
+                                ("t_ps", Json::from(p.t.as_ps())),
+                                ("events_total", Json::from(p.events_total)),
+                                ("rate_hz", Json::from(p.rate_hz)),
+                                ("power_uw", Json::from(p.power_uw)),
+                                ("divider_multiplier", Json::from(p.divider_multiplier)),
+                                ("fifo_depth", Json::from(p.fifo_depth)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Default for TimeSeries {
+    fn default() -> TimeSeries {
+        TimeSeries::new(SimDuration::from_us(100))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_delta_events_over_delta_time() {
+        let mut ts = TimeSeries::new(SimDuration::from_us(1));
+        ts.record(SimTime::from_us(1), 10, 5.0, 1, 0);
+        ts.record(SimTime::from_us(2), 30, 5.0, 2, 3);
+        assert_eq!(ts.len(), 2);
+        // 10 events in the first microsecond -> 10 MHz.
+        assert!((ts.points()[0].rate_hz - 1.0e7).abs() < 1.0);
+        // 20 events in the second microsecond -> 20 MHz.
+        assert!((ts.points()[1].rate_hz - 2.0e7).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance")]
+    fn non_advancing_sample_panics() {
+        let mut ts = TimeSeries::new(SimDuration::from_us(1));
+        ts.record(SimTime::from_us(1), 1, 0.0, 1, 0);
+        ts.record(SimTime::from_us(1), 2, 0.0, 1, 0);
+    }
+
+    #[test]
+    fn json_export_carries_every_field() {
+        let mut ts = TimeSeries::new(SimDuration::from_us(1));
+        ts.record(SimTime::from_us(1), 4, 2.5, 8, 7);
+        let json = ts.to_json();
+        let point = &json.get("points").unwrap().as_array().unwrap()[0];
+        assert_eq!(point.get("events_total").unwrap().as_f64(), Some(4.0));
+        assert_eq!(point.get("divider_multiplier").unwrap().as_f64(), Some(8.0));
+        assert_eq!(point.get("fifo_depth").unwrap().as_f64(), Some(7.0));
+    }
+}
