@@ -13,7 +13,6 @@
 //! completed handshake, and the CAVIAR timing compliance check the
 //! paper cites (every event must complete within 700 ns).
 
-use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
@@ -234,26 +233,47 @@ enum SenderPhase {
 /// queue up inside the sender (sensor-side backpressure), exactly like
 /// the arbiter of a real AER sensor.
 ///
+/// The sender *borrows* its stimulus: it replays a time-sorted
+/// `&[Spike]` through a cursor instead of owning a copy, so running the
+/// same train through many interface configurations (benches, fault
+/// campaigns, sweeps) never clones event storage.
+///
 /// [`next_req_rise`]: HandshakeSender::next_req_rise
 /// [`begin`]: HandshakeSender::begin
 /// [`ack_rise`]: HandshakeSender::ack_rise
 /// [`ack_fall`]: HandshakeSender::ack_fall
 #[derive(Debug, Clone)]
-pub struct HandshakeSender {
+pub struct HandshakeSender<'a> {
     timing: HandshakeTiming,
-    pending: VecDeque<Spike>,
+    pending: &'a [Spike],
+    next: usize,
     ready_at: SimTime,
     phase: SenderPhase,
     in_flight: Option<(Spike, SimTime)>,
 }
 
-impl HandshakeSender {
+impl<'a> HandshakeSender<'a> {
     /// Creates a sender that will transmit `train` with the given
-    /// timing.
-    pub fn new(train: SpikeTrain, timing: HandshakeTiming) -> HandshakeSender {
+    /// timing, borrowing the train's storage (zero-copy).
+    pub fn new(train: &'a SpikeTrain, timing: HandshakeTiming) -> HandshakeSender<'a> {
+        HandshakeSender::over(train.as_slice(), timing)
+    }
+
+    /// Creates a sender over a raw event slice, for callers that hold
+    /// spikes outside a [`SpikeTrain`] (e.g. a memory-mapped capture).
+    ///
+    /// The slice must be sorted by spike time — the invariant
+    /// [`SpikeTrain`] enforces structurally — or `REQ` rise times would
+    /// go backwards; this is debug-asserted.
+    pub fn over(spikes: &'a [Spike], timing: HandshakeTiming) -> HandshakeSender<'a> {
+        debug_assert!(
+            spikes.windows(2).all(|w| w[0].time <= w[1].time),
+            "spike slice must be sorted by time"
+        );
         HandshakeSender {
             timing,
-            pending: train.into_inner().into(),
+            pending: spikes,
+            next: 0,
             ready_at: SimTime::ZERO,
             phase: SenderPhase::Idle,
             in_flight: None,
@@ -262,12 +282,12 @@ impl HandshakeSender {
 
     /// `true` when every queued spike has completed its handshake.
     pub fn is_done(&self) -> bool {
-        self.pending.is_empty() && self.phase == SenderPhase::Idle
+        self.next == self.pending.len() && self.phase == SenderPhase::Idle
     }
 
     /// Number of spikes not yet transmitted (excluding one in flight).
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.pending.len() - self.next
     }
 
     /// When `REQ` will next rise: the later of the next spike's time
@@ -277,7 +297,7 @@ impl HandshakeSender {
         if self.phase != SenderPhase::Idle {
             return None;
         }
-        self.pending.front().map(|s| s.time.max(self.ready_at))
+        self.pending.get(self.next).map(|s| s.time.max(self.ready_at))
     }
 
     /// Commits to the `REQ` rising edge at `now`, returning the spike
@@ -291,7 +311,8 @@ impl HandshakeSender {
         assert_eq!(self.phase, SenderPhase::Idle, "begin() while a handshake is in flight");
         let expected = self.next_req_rise().expect("begin() with no pending spike");
         assert!(now >= expected, "begin() at {now} before the scheduled REQ rise at {expected}");
-        let spike = self.pending.pop_front().expect("checked non-empty");
+        let spike = self.pending[self.next];
+        self.next += 1;
         self.phase = SenderPhase::ReqHigh;
         self.in_flight = Some((spike, now));
         spike
@@ -366,7 +387,7 @@ impl HandshakeSender {
 /// plays the receiver role itself (with a synchroniser and possibly a
 /// sleeping clock) instead.
 pub fn run_with_fixed_latency(
-    train: SpikeTrain,
+    train: &SpikeTrain,
     timing: HandshakeTiming,
     ack_latency: SimDuration,
 ) -> HandshakeLog {
@@ -402,7 +423,7 @@ mod tests {
     #[test]
     fn single_handshake_edge_ordering() {
         let log = run_with_fixed_latency(
-            train(&[100]),
+            &train(&[100]),
             HandshakeTiming::default(),
             SimDuration::from_ns(20),
         );
@@ -423,7 +444,7 @@ mod tests {
         // Two spikes 1 ns apart but the handshake takes 50 ns: the
         // second REQ rise must wait for recovery.
         let log = run_with_fixed_latency(
-            train(&[100, 101]),
+            &train(&[100, 101]),
             HandshakeTiming::default(),
             SimDuration::from_ns(20),
         );
@@ -436,10 +457,12 @@ mod tests {
 
     #[test]
     fn idle_sender_reports_none_and_done() {
-        let sender = HandshakeSender::new(SpikeTrain::new(), HandshakeTiming::default());
+        let empty = SpikeTrain::new();
+        let sender = HandshakeSender::new(&empty, HandshakeTiming::default());
         assert!(sender.is_done());
         assert_eq!(sender.next_req_rise(), None);
-        let mut sender2 = HandshakeSender::new(train(&[5]), HandshakeTiming::default());
+        let two = train(&[5]);
+        let mut sender2 = HandshakeSender::new(&two, HandshakeTiming::default());
         assert!(!sender2.is_done());
         sender2.begin(SimTime::from_ns(5));
         assert_eq!(sender2.next_req_rise(), None, "busy sender advertises no REQ");
@@ -448,7 +471,7 @@ mod tests {
     #[test]
     fn caviar_violation_detected() {
         let log = run_with_fixed_latency(
-            train(&[0]),
+            &train(&[0]),
             HandshakeTiming::default(),
             SimDuration::from_ns(400), // 400 + 10 + 400 = 810 ns > 700 ns
         );
@@ -476,7 +499,7 @@ mod tests {
     fn all_spikes_complete_in_order() {
         let times: Vec<u64> = (0..100).map(|i| i * 1_000).collect();
         let log = run_with_fixed_latency(
-            train(&times),
+            &train(&times),
             HandshakeTiming::default(),
             SimDuration::from_ns(15),
         );
@@ -489,14 +512,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "in flight")]
     fn double_begin_panics() {
-        let mut s = HandshakeSender::new(train(&[1, 2]), HandshakeTiming::default());
+        let tr = train(&[1, 2]);
+        let mut s = HandshakeSender::new(&tr, HandshakeTiming::default());
         s.begin(SimTime::from_ns(1));
         s.begin(SimTime::from_ns(2));
     }
 
     #[test]
     fn abort_resets_the_channel_and_drops_the_spike() {
-        let mut s = HandshakeSender::new(train(&[100, 200]), HandshakeTiming::default());
+        let tr = train(&[100, 200]);
+        let mut s = HandshakeSender::new(&tr, HandshakeTiming::default());
         assert_eq!(s.abort(SimTime::from_ns(50)), None, "idle abort is a no-op");
         s.begin(SimTime::from_ns(100));
         let dropped = s.abort(SimTime::from_ns(500)).expect("in-flight spike returned");
@@ -512,7 +537,8 @@ mod tests {
 
     #[test]
     fn abort_mid_ack_fall_wait_also_recovers() {
-        let mut s = HandshakeSender::new(train(&[100]), HandshakeTiming::default());
+        let tr = train(&[100]);
+        let mut s = HandshakeSender::new(&tr, HandshakeTiming::default());
         s.begin(SimTime::from_ns(100));
         s.ack_rise(SimTime::from_ns(120));
         assert!(s.abort(SimTime::from_ns(900)).is_some());
@@ -522,7 +548,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "without REQ high")]
     fn ack_rise_when_idle_panics() {
-        let mut s = HandshakeSender::new(train(&[1]), HandshakeTiming::default());
+        let tr = train(&[1]);
+        let mut s = HandshakeSender::new(&tr, HandshakeTiming::default());
         s.ack_rise(SimTime::from_ns(1));
     }
 }

@@ -21,7 +21,7 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let train = LfsrGenerator::new(550_000.0, 0xC0FFEE).generate(SimTime::from_ms(10));
-//! let log = run_with_fixed_latency(train, HandshakeTiming::default(),
+//! let log = run_with_fixed_latency(&train, HandshakeTiming::default(),
 //!                                  SimDuration::from_ns(33));
 //! log.verify_protocol()?;
 //! log.verify_caviar()?;
@@ -114,7 +114,7 @@ mod proptests {
         ) {
             let train = LfsrGenerator::new(rate, seed).generate(SimTime::from_us(500));
             let log = run_with_fixed_latency(
-                train.clone(),
+                &train,
                 HandshakeTiming::default(),
                 SimDuration::from_ns(ack_ns),
             );

@@ -75,6 +75,34 @@ pub fn run_sweep<C, T>(
     points
 }
 
+/// Parallel [`run_sweep`]: shards the cross product over `jobs` worker
+/// threads and returns the points in the exact order `run_sweep` would,
+/// so the output is bit-identical to the sequential sweep for any job
+/// count (see [`aetr_sim::parallel::par_map`] for the determinism
+/// argument).
+///
+/// Unlike `run_sweep`, the measurement closure must be `Fn` (shared
+/// across workers) — sweep measurements are pure functions of
+/// `(config, x)`, so this is no loss in practice. `jobs <= 1` degrades
+/// to a plain sequential loop with no thread overhead.
+pub fn run_sweep_parallel<C, T>(
+    configs: &[(String, C)],
+    xs: &[f64],
+    jobs: usize,
+    measure: impl Fn(&C, f64) -> T + Sync,
+) -> Vec<SweepPoint<T>>
+where
+    C: Sync,
+    T: Send,
+{
+    let grid: Vec<(usize, f64)> =
+        (0..configs.len()).flat_map(|ci| xs.iter().map(move |&x| (ci, x))).collect();
+    aetr_sim::parallel::par_map(jobs, &grid, |_, &(ci, x)| {
+        let (label, cfg) = &configs[ci];
+        SweepPoint { config: label.clone(), x, value: measure(cfg, x) }
+    })
+}
+
 /// Groups sweep points back into per-configuration series (insertion
 /// order preserved).
 pub fn series_of<T: Clone>(points: &[SweepPoint<T>]) -> Vec<(String, Vec<(f64, T)>)> {
@@ -133,5 +161,16 @@ mod tests {
     #[should_panic(expected = "0 < lo < hi")]
     fn log_space_rejects_zero_lo() {
         let _ = log_space(0.0, 1.0, 3);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_exactly() {
+        let configs = vec![("a".to_owned(), 3u32), ("b".to_owned(), 5), ("c".to_owned(), 7)];
+        let xs = log_space(1.0, 100.0, 7);
+        let sequential = run_sweep(&configs, &xs, |c, x| (*c as f64).powf(x.ln()));
+        for jobs in [0, 1, 2, 3, 8] {
+            let parallel = run_sweep_parallel(&configs, &xs, jobs, |c, x| (*c as f64).powf(x.ln()));
+            assert_eq!(parallel, sequential, "jobs = {jobs}");
+        }
     }
 }

@@ -25,7 +25,7 @@ fn bench_des_interface(c: &mut Criterion) {
             |b, train| {
                 let interface =
                     AerToI2sInterface::new(InterfaceConfig::prototype()).expect("valid");
-                b.iter(|| interface.run(train.clone(), horizon));
+                b.iter(|| interface.run(train, horizon));
             },
         );
     }

@@ -60,11 +60,7 @@ fn bench_handshake(c: &mut Criterion) {
     group.throughput(Throughput::Elements(train.len() as u64));
     group.bench_function("four_phase_4k_events", |b| {
         b.iter(|| {
-            run_with_fixed_latency(
-                train.clone(),
-                HandshakeTiming::default(),
-                SimDuration::from_ns(33),
-            )
+            run_with_fixed_latency(&train, HandshakeTiming::default(), SimDuration::from_ns(33))
         })
     });
     group.finish();

@@ -46,7 +46,7 @@ fn main() {
             ..InterfaceConfig::prototype()
         };
         let interface = AerToI2sInterface::new(config).expect("valid config");
-        let report = interface.run(train.clone(), horizon);
+        let report = interface.run(&train, horizon);
         // One MCU wake per drain burst (plus one for any trailing flush).
         let batches = report.fifo_stats.watermark_crossings.max(1) + 1;
         let cmp = compare(&mcu, span, report.events.len() as u64, batches);

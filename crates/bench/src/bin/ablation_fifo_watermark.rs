@@ -38,7 +38,7 @@ fn main() {
             ..InterfaceConfig::prototype()
         };
         let interface = AerToI2sInterface::new(config).expect("valid config");
-        let report = interface.run(train.clone(), horizon);
+        let report = interface.run(&train, horizon);
         let latency = LatencyReport::from_report(&report, &config.i2s).expect("non-empty run");
         let bursts = report.fifo_stats.watermark_crossings.max(1);
         table.row(vec![

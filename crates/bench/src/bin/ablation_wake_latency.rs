@@ -39,7 +39,7 @@ fn main() {
             ..RingOscillatorConfig::igloo_nano()
         };
         let interface = AerToI2sInterface::new(config).expect("valid config");
-        let report = interface.run(train.clone(), SimTime::from_ms(200));
+        let report = interface.run(&train, SimTime::from_ms(200));
         let mean_delay_ns: f64 = report
             .events
             .iter()

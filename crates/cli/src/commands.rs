@@ -34,10 +34,10 @@ USAGE:
   aetr-cli replay   <file.aedat> [--theta N] [--ndiv N] [--policy P]
   aetr-cli record   <file.aedat> --rate <evt/s> [--duration-ms N] [--seed N]
                     [--generator poisson|lfsr|word]
-  aetr-cli sweep    [--points N] [--theta N]
+  aetr-cli sweep    [--points N] [--theta N] [--jobs N]
   aetr-cli faults   [--points N] [--rate <evt/s>] [--duration-ms N]
                     [--surface protocol|datapath|all] [--seed N]
-                    [--min-fault-rate P] [--max-fault-rate P]
+                    [--min-fault-rate P] [--max-fault-rate P] [--jobs N]
                     (fault-rate sweep: accuracy/power degradation curves)
   aetr-cli telemetry [--rate <evt/s>] [--duration-ms N] [--seed N]
                     [--generator poisson|burst] [--cadence-us N]
@@ -49,6 +49,8 @@ USAGE:
   aetr-cli resources
 
 POLICIES: recursive (default) | divide-only | never | linear
+JOBS:     --jobs N shards sweep points over N worker threads (0 = all
+          cores); output is bit-identical to --jobs 1 for any N.
 ";
 
 /// Runs a command line, returning the report text.
@@ -93,6 +95,14 @@ fn clock_config(args: &ParsedArgs) -> Result<ClockGenConfig, Box<dyn Error>> {
         ClockGenConfig::prototype().with_theta_div(theta).with_n_div(ndiv).with_policy(policy);
     config.validate()?;
     Ok(config)
+}
+
+/// Worker-thread count for sweep commands: `--jobs N`, where `0` means
+/// "all available cores". Defaults to 1 (sequential); any value yields
+/// bit-identical output, so this is purely a wall-clock knob.
+fn jobs_arg(args: &ParsedArgs) -> Result<usize, Box<dyn Error>> {
+    let jobs: usize = args.get_or("jobs", 1, "integer")?;
+    Ok(if jobs == 0 { aetr_sim::parallel::available_jobs() } else { jobs })
 }
 
 fn report_for(config: &ClockGenConfig, train: &SpikeTrain, horizon: SimTime) -> String {
@@ -166,7 +176,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
     let train = PoissonGenerator::new(rate, 64, seed).generate(horizon);
     let n = train.len();
     let interface = AerToI2sInterface::new(config)?;
-    let report = interface.run(train, horizon);
+    let report = interface.run(&train, horizon);
     report.handshake.verify_protocol()?;
 
     let mut text = String::new();
@@ -245,10 +255,14 @@ fn cmd_replay(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
 
 fn cmd_sweep(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
     let points: usize = args.get_or("points", 9, "integer")?;
+    let jobs = jobs_arg(args)?;
     let config = clock_config(args)?;
     let model = PowerModel::igloo_nano();
-    let mut table = Table::new(vec!["rate (evt/s)", "mean err %", "sat %", "power (uW)"]);
-    for (i, &rate) in log_space(100.0, 1e6, points.max(2)).iter().enumerate() {
+    // Each point is an independent simulation seeded by its index, so
+    // the shards can run on worker threads; par_map returns rows in
+    // input order, keeping the table bit-identical for any job count.
+    let rates = log_space(100.0, 1e6, points.max(2));
+    let rows = aetr_sim::par_map(jobs, &rates, |i, &rate| {
         let secs = (1_000.0 / rate).max(0.1);
         let horizon = SimTime::ZERO + SimDuration::from_secs_f64(secs);
         let train = PoissonGenerator::new(rate, 64, 10 + i as u64).generate(horizon);
@@ -259,12 +273,16 @@ fn cmd_sweep(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
         let sat = out.records.iter().filter(|r| r.saturated).count() as f64
             / out.records.len().max(1) as f64;
         let power = model.evaluate(&out.activity).total;
-        table.row(vec![
+        vec![
             fmt_sig(rate),
             format!("{:.3}", mean_err * 100.0),
             format!("{:.1}", sat * 100.0),
             format!("{:.1}", power.as_microwatts()),
-        ]);
+        ]
+    });
+    let mut table = Table::new(vec!["rate (evt/s)", "mean err %", "sat %", "power (uW)"]);
+    for row in rows {
+        table.row(row);
     }
     Ok(table.to_ascii())
 }
@@ -297,7 +315,7 @@ fn cmd_faults(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
         ..CampaignConfig::default()
     };
     let campaign = FaultCampaign::new(config)?;
-    let result = campaign.run(&log_space(lo, hi, points.max(2)));
+    let result = campaign.run_with_jobs(&log_space(lo, hi, points.max(2)), jobs_arg(args)?);
 
     let mut table = Table::new(vec![
         "fault rate",
@@ -377,7 +395,7 @@ fn cmd_telemetry(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
     };
     let interface = AerToI2sInterface::new(config)?;
     let report = interface.run_with_telemetry(
-        train,
+        &train,
         horizon,
         &FaultPlan::nominal(seed),
         &TelemetryConfig::with_cadence(SimDuration::from_us(cadence_us)),
@@ -524,6 +542,36 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(text, again);
+    }
+
+    #[test]
+    fn faults_with_jobs_is_byte_identical_to_sequential() {
+        let line = |jobs: &str| {
+            run_line(&[
+                "faults",
+                "--points",
+                "4",
+                "--rate",
+                "30000",
+                "--duration-ms",
+                "5",
+                "--max-fault-rate",
+                "0.2",
+                "--jobs",
+                jobs,
+            ])
+            .unwrap()
+        };
+        let sequential = line("1");
+        assert_eq!(line("4"), sequential, "--jobs 4 must not change a single byte");
+        assert_eq!(line("0"), sequential, "--jobs 0 (all cores) must not either");
+    }
+
+    #[test]
+    fn sweep_with_jobs_is_byte_identical_to_sequential() {
+        let sequential = run_line(&["sweep", "--points", "5"]).unwrap();
+        let parallel = run_line(&["sweep", "--points", "5", "--jobs", "3"]).unwrap();
+        assert_eq!(parallel, sequential);
     }
 
     #[test]

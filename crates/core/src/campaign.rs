@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 use aetr_aer::generator::{PoissonGenerator, SpikeSource};
 use aetr_aer::spike::SpikeTrain;
 use aetr_faults::{FaultPlan, FaultRates, InterfaceHealthReport, WatchdogConfig};
+use aetr_sim::parallel::par_map;
 use aetr_sim::time::{SimDuration, SimTime};
 
 use crate::interface::{AerToI2sInterface, InterfaceConfig, InterfaceConfigError};
@@ -183,9 +184,20 @@ impl FaultCampaign {
     /// `fault_rates`. Deterministic: same [`CampaignConfig`], same
     /// result, bit for bit.
     pub fn run(&self, fault_rates: &[f64]) -> CampaignResult {
+        self.run_with_jobs(fault_rates, 1)
+    }
+
+    /// Like [`run`](Self::run), sharding the swept points over up to
+    /// `jobs` worker threads.
+    ///
+    /// Every point derives its fault stream from the campaign seed and
+    /// its own rate alone — no state flows between points — and
+    /// [`par_map`] returns results in input order, so the result is
+    /// bit-identical to [`run`](Self::run) for any `jobs`.
+    pub fn run_with_jobs(&self, fault_rates: &[f64], jobs: usize) -> CampaignResult {
         let receiver = McuReceiver::new(self.config.interface.clock.base_sampling_period());
         let measure = |plan: &FaultPlan| -> (f64, f64, f64, InterfaceHealthReport) {
-            let report = self.interface.run_with_faults(self.train.clone(), self.horizon, plan);
+            let report = self.interface.run_with_faults(&self.train, self.horizon, plan);
             let reconstructed = receiver.receive_anchored(&report.i2s);
             let fidelity = FidelityReport::compare(&self.train, &reconstructed);
             (
@@ -200,21 +212,18 @@ impl FaultCampaign {
             FaultPlan::nominal(self.config.fault_seed).with_watchdog(self.config.watchdog);
         let (baseline_accuracy, _, baseline_power_uw, _) = measure(&nominal);
 
-        let points = fault_rates
-            .iter()
-            .map(|&rate| {
-                let plan = nominal.clone().with_rates(self.config.surface.rates(rate));
-                let (accuracy, loss_ratio, power_uw, health) = measure(&plan);
-                CampaignPoint {
-                    fault_rate: rate,
-                    accuracy,
-                    loss_ratio,
-                    power_uw,
-                    power_ratio: power_uw / baseline_power_uw,
-                    health,
-                }
-            })
-            .collect();
+        let points = par_map(jobs, fault_rates, |_, &rate| {
+            let plan = nominal.clone().with_rates(self.config.surface.rates(rate));
+            let (accuracy, loss_ratio, power_uw, health) = measure(&plan);
+            CampaignPoint {
+                fault_rate: rate,
+                accuracy,
+                loss_ratio,
+                power_uw,
+                power_ratio: power_uw / baseline_power_uw,
+                health,
+            }
+        });
 
         CampaignResult { baseline_accuracy, baseline_power_uw, points }
     }
@@ -258,6 +267,20 @@ mod tests {
         let heavy = &result.points[1];
         assert!(heavy.health.faults_injected() > light.health.faults_injected());
         assert!(heavy.loss_ratio >= light.loss_ratio, "heavy {heavy:?} vs light {light:?}");
+    }
+
+    #[test]
+    fn parallel_campaign_is_bit_identical_to_sequential() {
+        let rates = [0.0, 1e-3, 1e-2, 0.1];
+        let campaign = FaultCampaign::new(quick_config()).unwrap();
+        let sequential = campaign.run_with_jobs(&rates, 1);
+        for jobs in [2, 4] {
+            assert_eq!(
+                campaign.run_with_jobs(&rates, jobs),
+                sequential,
+                "jobs={jobs} must reproduce the sequential campaign bit for bit"
+            );
+        }
     }
 
     #[test]

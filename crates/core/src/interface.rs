@@ -21,7 +21,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use aetr_aer::handshake::{HandshakeLog, HandshakeSender, HandshakeTiming};
-use aetr_aer::spike::SpikeTrain;
+use aetr_aer::spike::{Spike, SpikeTrain};
 use aetr_clockgen::config::{ClockGenConfig, ClockGenConfigError};
 use aetr_clockgen::fsm::{FsmAction, SamplerFsm};
 use aetr_faults::{
@@ -199,7 +199,7 @@ enum Ev {
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let interface = AerToI2sInterface::new(InterfaceConfig::prototype())?;
 /// let train = PoissonGenerator::new(50_000.0, 64, 7).generate(SimTime::from_ms(5));
-/// let report = interface.run(train, SimTime::from_ms(5));
+/// let report = interface.run(&train, SimTime::from_ms(5));
 /// report.handshake.verify_protocol()?;
 /// assert!(!report.events.is_empty());
 /// # Ok(())
@@ -237,13 +237,35 @@ impl AerToI2sInterface {
     /// Runs the interface over `train` until all events complete and
     /// `horizon` is reached (power is integrated over `[0, horizon]`
     /// or to the last activity, whichever is later).
-    pub fn run(&self, train: SpikeTrain, horizon: SimTime) -> InterfaceReport {
+    ///
+    /// The train is borrowed, not consumed: replay is zero-copy, so the
+    /// same stimulus can drive many runs (benches, campaigns, sweeps)
+    /// without cloning event storage.
+    pub fn run(&self, train: &SpikeTrain, horizon: SimTime) -> InterfaceReport {
         self.run_with_telemetry(
             train,
             horizon,
             &FaultPlan::nominal(0),
             &TelemetryConfig::disabled(),
         )
+    }
+
+    /// Like [`run`](Self::run), over a raw event slice — the
+    /// event-iterator entry point for callers that hold spikes outside
+    /// a [`SpikeTrain`] (e.g. a decoded AEDAT capture).
+    ///
+    /// `spikes` must be sorted by time, the invariant [`SpikeTrain`]
+    /// guarantees structurally; it is debug-asserted here.
+    pub fn run_events(&self, spikes: &[Spike], horizon: SimTime) -> InterfaceReport {
+        Runner::new(
+            &self.config,
+            &self.power_model,
+            spikes,
+            horizon,
+            &FaultPlan::nominal(0),
+            &TelemetryConfig::disabled(),
+        )
+        .run()
     }
 
     /// Like [`run`](Self::run), with faults injected per `plan` and
@@ -260,7 +282,7 @@ impl AerToI2sInterface {
     /// ([`FaultPlan::validate`]).
     pub fn run_with_faults(
         &self,
-        train: SpikeTrain,
+        train: &SpikeTrain,
         horizon: SimTime,
         plan: &FaultPlan,
     ) -> InterfaceReport {
@@ -279,12 +301,13 @@ impl AerToI2sInterface {
     /// is a no-op sink and yields [`TelemetrySnapshot::empty`].
     pub fn run_with_telemetry(
         &self,
-        train: SpikeTrain,
+        train: &SpikeTrain,
         horizon: SimTime,
         plan: &FaultPlan,
         telemetry: &TelemetryConfig,
     ) -> InterfaceReport {
-        Runner::new(&self.config, &self.power_model, train, horizon, plan, telemetry).run()
+        Runner::new(&self.config, &self.power_model, train.as_slice(), horizon, plan, telemetry)
+            .run()
     }
 
     /// Like [`run`](Self::run), with SPI register writes applied at
@@ -300,7 +323,7 @@ impl AerToI2sInterface {
     /// Panics if `writes` is not time-sorted.
     pub fn run_with_reconfig(
         &self,
-        train: SpikeTrain,
+        train: &SpikeTrain,
         horizon: SimTime,
         writes: &[(SimTime, crate::config_bus::Register, u32)],
     ) -> InterfaceReport {
@@ -311,7 +334,7 @@ impl AerToI2sInterface {
         let mut runner = Runner::new(
             &self.config,
             &self.power_model,
-            train,
+            train.as_slice(),
             horizon,
             &FaultPlan::nominal(0),
             &TelemetryConfig::disabled(),
@@ -459,7 +482,7 @@ struct Runner<'a> {
     base: SimDuration,
 
     queue: EventQueue<Ev>,
-    sender: HandshakeSender,
+    sender: HandshakeSender<'a>,
     monitor: InputMonitor,
     fsm: SamplerFsm,
     fifo: AetrFifo,
@@ -501,7 +524,7 @@ impl<'a> Runner<'a> {
     fn new(
         cfg: &'a InterfaceConfig,
         power_model: &'a PowerModel,
-        train: SpikeTrain,
+        spikes: &'a [Spike],
         horizon: SimTime,
         plan: &FaultPlan,
         telemetry: &TelemetryConfig,
@@ -513,8 +536,11 @@ impl<'a> Runner<'a> {
             power_model,
             horizon,
             base: cfg.clock.base_sampling_period(),
-            queue: EventQueue::new(),
-            sender: HandshakeSender::new(train, cfg.handshake),
+            // A handful of events are ever concurrently pending (tick,
+            // REQ, frame drains, watchdog retries); pre-size past that
+            // so the hot loop never reallocates.
+            queue: EventQueue::with_capacity(16),
+            sender: HandshakeSender::over(spikes, cfg.handshake),
             monitor: InputMonitor::new(cfg.front_end),
             fsm: SamplerFsm::new(&cfg.clock),
             fifo: AetrFifo::new(cfg.fifo),
@@ -1059,7 +1085,7 @@ mod tests {
     fn processes_every_spike_exactly_once() {
         let train = PoissonGenerator::new(50_000.0, 64, 1).generate(SimTime::from_ms(10));
         let n = train.len();
-        let report = prototype().run(train, SimTime::from_ms(10));
+        let report = prototype().run(&train, SimTime::from_ms(10));
         assert_eq!(report.events.len(), n);
         assert_eq!(report.handshake.len(), n);
         assert_eq!(report.i2s.event_count(), n, "every event reaches the I2S stream");
@@ -1069,7 +1095,7 @@ mod tests {
     #[test]
     fn handshake_meets_caviar_at_moderate_rates() {
         let train = RegularGenerator::from_rate(100_000.0, 16).generate(SimTime::from_ms(5));
-        let report = prototype().run(train, SimTime::from_ms(5));
+        let report = prototype().run(&train, SimTime::from_ms(5));
         report.handshake.verify_caviar().unwrap();
     }
 
@@ -1078,7 +1104,7 @@ mod tests {
         let cfg =
             InterfaceConfig { front_end: FrontEndConfig::ideal(), ..InterfaceConfig::prototype() };
         let train = PoissonGenerator::new(80_000.0, 32, 9).generate(SimTime::from_ms(20));
-        let des = AerToI2sInterface::new(cfg).unwrap().run(train.clone(), SimTime::from_ms(20));
+        let des = AerToI2sInterface::new(cfg).unwrap().run(&train, SimTime::from_ms(20));
         let behav = quantize_train(&cfg.clock, &train, SimTime::from_ms(20));
 
         assert_eq!(des.events.len(), behav.records.len());
@@ -1102,7 +1128,7 @@ mod tests {
 
     #[test]
     fn idle_interface_power_approaches_static_floor() {
-        let report = prototype().run(SpikeTrain::new(), SimTime::from_ms(100));
+        let report = prototype().run(&SpikeTrain::new(), SimTime::from_ms(100));
         // The clock runs for ~64 µs then sleeps for the rest.
         let uw = report.power.total.as_microwatts();
         assert!(uw < 60.0, "idle power {uw} µW");
@@ -1114,7 +1140,7 @@ mod tests {
         let train =
             RegularGenerator::new(SimDuration::from_ms(10), 4).generate(SimTime::from_ms(95));
         let n = train.len();
-        let report = prototype().run(train, SimTime::from_ms(100));
+        let report = prototype().run(&train, SimTime::from_ms(100));
         assert_eq!(report.wake_count, n as u64, "every sparse event wakes the oscillator");
         // All timestamps saturated at the counter's natural maximum.
         for e in &report.events {
@@ -1129,7 +1155,7 @@ mod tests {
             ..InterfaceConfig::prototype()
         };
         let report =
-            AerToI2sInterface::new(cfg).unwrap().run(SpikeTrain::new(), SimTime::from_ms(2));
+            AerToI2sInterface::new(cfg).unwrap().run(&SpikeTrain::new(), SimTime::from_ms(2));
         assert_eq!(report.wake_count, 0);
         assert_eq!(report.activity.off, SimDuration::ZERO);
         assert!(report.power.total.as_milliwatts() > 4.0, "naive power {}", report.power.total);
@@ -1142,7 +1168,7 @@ mod tests {
             ..InterfaceConfig::prototype()
         };
         let train = RegularGenerator::from_rate(200_000.0, 8).generate(SimTime::from_ms(2));
-        let report = AerToI2sInterface::new(cfg).unwrap().run(train, SimTime::from_ms(2));
+        let report = AerToI2sInterface::new(cfg).unwrap().run(&train, SimTime::from_ms(2));
         assert!(report.fifo_stats.watermark_crossings >= 1);
         assert_eq!(report.fifo_stats.dropped, 0);
         assert_eq!(
@@ -1157,7 +1183,7 @@ mod tests {
         let cfg =
             InterfaceConfig { front_end: FrontEndConfig::ideal(), ..InterfaceConfig::prototype() };
         let train = LfsrGenerator::new(50_000.0, 0xFEED).generate(SimTime::from_ms(50));
-        let des = AerToI2sInterface::new(cfg).unwrap().run(train.clone(), SimTime::from_ms(50));
+        let des = AerToI2sInterface::new(cfg).unwrap().run(&train, SimTime::from_ms(50));
         let behav = quantize_train(&cfg.clock, &train, SimTime::from_ms(50));
         let model = PowerModel::igloo_nano();
         let p_des = des.power.total.as_microwatts();
@@ -1185,7 +1211,7 @@ mod tests {
             .collect();
         let interface = AerToI2sInterface::new(InterfaceConfig::prototype()).unwrap();
         let writes = [(SimTime::from_ms(3), Register::NDiv, 6u32)];
-        let report = interface.run_with_reconfig(train, SimTime::from_ms(7), &writes);
+        let report = interface.run_with_reconfig(&train, SimTime::from_ms(7), &writes);
         assert_eq!(report.events.len(), 20);
         let before: Vec<u32> =
             report.events[..8].iter().map(|e| e.event.timestamp.ticks()).collect();
@@ -1206,9 +1232,9 @@ mod tests {
         use crate::config_bus::Register;
         let train = RegularGenerator::from_rate(50_000.0, 4).generate(SimTime::from_ms(2));
         let interface = AerToI2sInterface::new(InterfaceConfig::prototype()).unwrap();
-        let plain = interface.run(train.clone(), SimTime::from_ms(2));
+        let plain = interface.run(&train, SimTime::from_ms(2));
         let writes = [(SimTime::from_ms(1), Register::ThetaDiv, 1u32)]; // invalid value
-        let reconfigured = interface.run_with_reconfig(train, SimTime::from_ms(2), &writes);
+        let reconfigured = interface.run_with_reconfig(&train, SimTime::from_ms(2), &writes);
         assert_eq!(plain.events, reconfigured.events);
     }
 

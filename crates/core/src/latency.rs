@@ -134,7 +134,7 @@ mod tests {
         };
         let interface = AerToI2sInterface::new(config).unwrap();
         let train = RegularGenerator::from_rate(100_000.0, 8).generate(SimTime::from_ms(5));
-        (interface.run(train, SimTime::from_ms(5)), config.i2s)
+        (interface.run(&train, SimTime::from_ms(5)), config.i2s)
     }
 
     #[test]
@@ -167,7 +167,7 @@ mod tests {
     fn empty_run_yields_none() {
         let config = InterfaceConfig::prototype();
         let interface = AerToI2sInterface::new(config).unwrap();
-        let report = interface.run(aetr_aer::spike::SpikeTrain::new(), SimTime::from_ms(1));
+        let report = interface.run(&aetr_aer::spike::SpikeTrain::new(), SimTime::from_ms(1));
         assert!(LatencyReport::from_report(&report, &config.i2s).is_none());
     }
 

@@ -252,7 +252,7 @@ mod tests {
             ..InterfaceConfig::prototype()
         };
         let interface = AerToI2sInterface::new(config).expect("valid config");
-        let report = interface.run(train, SimTime::from_ms(250));
+        let report = interface.run(&train, SimTime::from_ms(250));
         let mcu =
             McuReceiver::new(interface.config().clock.base_sampling_period()).with_saturation(960); // θ=64, N=3: 64·(2^4−1)
 

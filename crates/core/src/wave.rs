@@ -50,7 +50,7 @@ pub struct InterfaceWave {
 /// let config = InterfaceConfig::prototype();
 /// let interface = AerToI2sInterface::new(config)?;
 /// let train = PoissonGenerator::new(50_000.0, 64, 3).generate(SimTime::from_ms(2));
-/// let report = interface.run(train, SimTime::from_ms(2));
+/// let report = interface.run(&train, SimTime::from_ms(2));
 ///
 /// let wave = trace_report(&report, &config.i2s);
 /// let mut vcd = Vec::new();
@@ -134,7 +134,7 @@ mod tests {
         let config = InterfaceConfig::prototype();
         let interface = AerToI2sInterface::new(config).unwrap();
         let train = RegularGenerator::from_rate(100_000.0, 8).generate(SimTime::from_ms(1));
-        (interface.run(train, SimTime::from_ms(1)), config.i2s)
+        (interface.run(&train, SimTime::from_ms(1)), config.i2s)
     }
 
     #[test]

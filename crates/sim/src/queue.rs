@@ -5,9 +5,26 @@
 //! This guarantees that a simulation is a pure function of its inputs —
 //! an essential property for reproducing the paper's experiments, which
 //! must give identical numbers on every run with the same seed.
+//!
+//! # Cancellation via tombstones
+//!
+//! Cancellation is lazy. Each pending event owns a *slot* in a slab of
+//! generation counters; its [`EventHandle`] packs the slot index with
+//! the generation observed at schedule time. [`cancel`] simply bumps
+//! the slot's generation — O(1), no heap surgery, no hashing — which
+//! turns the event's heap entry into a *tombstone*. [`pop`] discards
+//! tombstones by comparing each entry's recorded generation against the
+//! slab with a single indexed load, so the hot path carries no
+//! per-event `HashSet` lookup. Slot generations use parity to encode
+//! occupancy (odd = live), so freed slots can be reused immediately
+//! while stale handles — including handles that survive a
+//! [`clear`](EventQueue::clear) — can never cancel a later event.
+//!
+//! [`cancel`]: EventQueue::cancel
+//! [`pop`]: EventQueue::pop
 
 use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
 
@@ -15,9 +32,27 @@ use crate::time::{SimDuration, SimTime};
 
 /// Opaque handle to a scheduled event, usable to [cancel] it.
 ///
+/// Packs the event's slab slot (low 32 bits) with the slot's generation
+/// at schedule time (high 32 bits); the handle stays valid — and
+/// unambiguous — across slot reuse.
+///
 /// [cancel]: EventQueue::cancel
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventHandle(u64);
+
+impl EventHandle {
+    fn new(slot: u32, gen: u32) -> Self {
+        EventHandle(u64::from(slot) | (u64::from(gen) << 32))
+    }
+
+    fn slot(self) -> u32 {
+        (self.0 & 0xFFFF_FFFF) as u32
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 /// Error returned when scheduling an event in the simulated past.
 ///
@@ -43,26 +78,37 @@ impl fmt::Display for SchedulePastError {
 
 impl Error for SchedulePastError {}
 
+/// One slab slot. `gen` parity encodes occupancy: odd = a live event
+/// owns the slot (and `event` is `Some`), even = free / tombstoned.
 #[derive(Debug)]
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    handle: EventHandle,
-    event: E,
+struct Slot<E> {
+    gen: u32,
+    event: Option<E>,
 }
 
-impl<E> PartialEq for Entry<E> {
+/// Heap entries carry only ordering keys plus the slot coordinates;
+/// payloads stay in the slab so sift operations move 24 bytes
+/// regardless of the event type.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+    gen: u32,
+}
+
+impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Entry<E> {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
     }
@@ -90,8 +136,13 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    cancelled: HashSet<EventHandle>,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    /// Exact number of live (scheduled, not cancelled, not popped)
+    /// events; maintained incrementally so `len()` stays O(1) even
+    /// while the heap carries tombstones.
+    live: usize,
     now: SimTime,
     next_seq: u64,
     ops: u64,
@@ -108,15 +159,40 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             now: SimTime::ZERO,
             next_seq: 0,
             ops: 0,
         }
     }
 
+    /// Creates an empty queue with room for `capacity` concurrently
+    /// pending events before any allocation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            live: 0,
+            now: SimTime::ZERO,
+            next_seq: 0,
+            ops: 0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more concurrently
+    /// pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+        self.slots.reserve(additional);
+    }
+
     /// Lifetime count of queue operations (successful schedules plus
-    /// pops of live events).
+    /// pops of live events). Tombstoned entries skipped during a pop
+    /// are *not* counted: a cancelled event costs one op when it is
+    /// scheduled and none afterwards.
     ///
     /// This is the denominator for the telemetry profiling hook "queue
     /// ops per wall-clock second"; it is monotone and survives
@@ -133,12 +209,41 @@ impl<E> EventQueue<E> {
 
     /// Number of live (non-cancelled) scheduled events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.live
     }
 
     /// `true` if no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
+    }
+
+    /// Claims a slot for a new event, returning `(slot, gen)` with the
+    /// generation already bumped to odd (occupied).
+    fn alloc_slot(&mut self, event: E) -> (u32, u32) {
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            debug_assert!(s.gen.is_multiple_of(2), "free-list slot marked occupied");
+            s.gen = s.gen.wrapping_add(1);
+            s.event = Some(event);
+            (slot, s.gen)
+        } else {
+            let slot = u32::try_from(self.slots.len())
+                .expect("event queue slab exceeded u32::MAX concurrent events");
+            self.slots.push(Slot { gen: 1, event: Some(event) });
+            (slot, 1)
+        }
+    }
+
+    /// Releases `slot`, bumping its generation to even (free) and
+    /// dropping the payload. Any outstanding handle or heap entry that
+    /// recorded the old generation is now a tombstone.
+    fn release_slot(&mut self, slot: u32) -> Option<E> {
+        let s = &mut self.slots[slot as usize];
+        debug_assert!(!s.gen.is_multiple_of(2), "releasing a slot that is not occupied");
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(slot);
+        self.live -= 1;
+        s.event.take()
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -154,11 +259,12 @@ impl<E> EventQueue<E> {
         if at < self.now {
             return Err(SchedulePastError { now: self.now, requested: at });
         }
-        let handle = EventHandle(self.next_seq);
-        self.heap.push(Reverse(Entry { time: at, seq: self.next_seq, handle, event }));
+        let (slot, gen) = self.alloc_slot(event);
+        self.heap.push(Reverse(HeapEntry { time: at, seq: self.next_seq, slot, gen }));
         self.next_seq += 1;
         self.ops += 1;
-        Ok(handle)
+        self.live += 1;
+        Ok(EventHandle::new(slot, gen))
     }
 
     /// Schedules `event` a relative `delay` after the current time.
@@ -179,53 +285,74 @@ impl<E> EventQueue<E> {
         self.schedule_at(at, event)
     }
 
-    /// Cancels a previously scheduled event.
+    /// Cancels a previously scheduled event in O(1): the event's slot
+    /// generation is bumped, turning its heap entry into a tombstone
+    /// that [`pop`](EventQueue::pop) will skip.
     ///
     /// Returns `true` if the event was still pending, `false` if it had
     /// already popped or been cancelled.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if handle.0 >= self.next_seq {
-            return false;
-        }
-        // Only insert if the event is plausibly still queued; a stale
-        // handle for an already-popped event is filtered on pop anyway,
-        // but we avoid unbounded growth by checking membership.
-        if self.heap.iter().any(|Reverse(e)| e.handle == handle) {
-            self.cancelled.insert(handle)
-        } else {
-            false
+        let slot = handle.slot();
+        match self.slots.get(slot as usize) {
+            Some(s) if s.gen == handle.gen() => {
+                self.release_slot(slot);
+                true
+            }
+            _ => false,
         }
     }
 
+    /// `true` if `entry` still refers to the live generation of its slot.
+    fn entry_is_live(&self, entry: &HeapEntry) -> bool {
+        self.slots[entry.slot as usize].gen == entry.gen
+    }
+
     /// Pops the next live event, advancing the simulation clock to its
-    /// activation time.
+    /// activation time. Tombstones of cancelled events are discarded
+    /// along the way without counting towards [`ops`](EventQueue::ops).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.cancelled.remove(&entry.handle) {
+            if !self.entry_is_live(&entry) {
                 continue;
             }
+            let event = self.release_slot(entry.slot).expect("live slot missing its payload");
             debug_assert!(entry.time >= self.now, "event queue went backwards");
             self.now = entry.time;
             self.ops += 1;
-            return Some((entry.time, entry.event));
+            return Some((entry.time, event));
         }
         None
     }
 
     /// Activation time of the next live event without popping it.
+    ///
+    /// The top of the heap is almost always live (tombstones only
+    /// appear after a cancel), so the fast path is a single peek; a
+    /// stale top falls back to a linear scan for the earliest live
+    /// entry.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap
-            .iter()
-            .filter(|Reverse(e)| !self.cancelled.contains(&e.handle))
-            .map(|Reverse(e)| e.time)
-            .min()
+        let Reverse(top) = self.heap.peek()?;
+        if self.entry_is_live(top) {
+            return Some(top.time);
+        }
+        self.heap.iter().filter(|Reverse(e)| self.entry_is_live(e)).map(|Reverse(e)| e.time).min()
     }
 
-    /// Drops every pending event and resets the cancellation set; the
-    /// clock is left where it is.
+    /// Drops every pending event; the clock is left where it is.
+    ///
+    /// Occupied slots are tombstoned (generation bumped) rather than
+    /// reset, so handles issued before the clear can never cancel an
+    /// event scheduled after it.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.cancelled.clear();
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if !s.gen.is_multiple_of(2) {
+                s.gen = s.gen.wrapping_add(1);
+                s.event = None;
+                self.free.push(i as u32);
+            }
+        }
+        self.live = 0;
     }
 }
 
@@ -347,5 +474,75 @@ mod tests {
         q.schedule_at(SimTime::MAX - SimDuration::from_ns(1), ()).unwrap();
         q.pop();
         assert!(q.schedule_after(SimDuration::MAX, ()).is_err());
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(64);
+        assert!(q.is_empty());
+        q.reserve(16);
+        q.schedule_at(SimTime::from_ns(3), "x").unwrap();
+        assert_eq!(q.pop(), Some((SimTime::from_ns(3), "x")));
+    }
+
+    #[test]
+    fn stale_handle_cannot_cancel_reused_slot() {
+        let mut q = EventQueue::new();
+        let old = q.schedule_at(SimTime::from_ns(1), "old").unwrap();
+        q.pop(); // frees the slot
+        let new = q.schedule_at(SimTime::from_ns(2), "new").unwrap();
+        assert!(!q.cancel(old), "stale handle must not cancel the slot's new tenant");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(new));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn handles_issued_before_clear_are_dead_after_it() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_at(SimTime::from_ns(4), "doomed").unwrap();
+        q.clear();
+        let fresh = q.schedule_at(SimTime::from_ns(6), "fresh").unwrap();
+        assert!(!q.cancel(h), "pre-clear handle must be inert");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_ns(6), "fresh")));
+        assert!(!q.cancel(fresh));
+    }
+
+    #[test]
+    fn cancel_then_reschedule_interleavings_keep_len_exact() {
+        let mut q = EventQueue::new();
+        let mut handles = Vec::new();
+        for i in 0..16u64 {
+            handles.push(q.schedule_at(SimTime::from_ns(i), i).unwrap());
+        }
+        // Cancel every other event, then refill the freed slots.
+        for h in handles.iter().step_by(2) {
+            assert!(q.cancel(*h));
+        }
+        assert_eq!(q.len(), 8);
+        for i in 16..24u64 {
+            q.schedule_at(SimTime::from_ns(i), i).unwrap();
+        }
+        assert_eq!(q.len(), 16);
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, 16);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn peek_falls_back_when_top_is_tombstoned() {
+        let mut q = EventQueue::new();
+        let early = q.schedule_at(SimTime::from_ns(1), ()).unwrap();
+        let mid = q.schedule_at(SimTime::from_ns(5), ()).unwrap();
+        q.schedule_at(SimTime::from_ns(9), ()).unwrap();
+        q.cancel(early);
+        q.cancel(mid);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(9)));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_ns(9));
+        assert_eq!(q.peek_time(), None);
     }
 }

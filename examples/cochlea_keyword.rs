@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    architecture.
     let interface = AerToI2sInterface::new(InterfaceConfig::prototype())?;
     let horizon = SimTime::ZERO + audio.duration();
-    let report = interface.run(spikes.clone(), horizon);
+    let report = interface.run(&spikes, horizon);
     report.handshake.verify_protocol()?;
 
     println!("\ninterface:");

@@ -68,8 +68,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..InterfaceConfig::prototype()
     };
     let interface = AerToI2sInterface::new(config)?;
-    let audio_report = interface.run(audio_spikes, horizon);
-    let vision_report = interface.run(vision_spikes, horizon);
+    let audio_report = interface.run(&audio_spikes, horizon);
+    let vision_report = interface.run(&vision_spikes, horizon);
     let node_power = PowerModel::igloo_nano().evaluate(&audio_report.activity).total
         + PowerModel::igloo_nano().evaluate(&vision_report.activity).total;
     println!("\nnode interface power (two interfaces): {node_power}");

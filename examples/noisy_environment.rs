@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for rate in [100_000.0, 300_000.0, 550_000.0] {
         let train = LfsrGenerator::new(rate, 0xD15EA5E).generate(horizon);
-        let report = interface.run(train, horizon);
+        let report = interface.run(&train, horizon);
         report.handshake.verify_protocol()?;
 
         let caviar = match report.handshake.verify_caviar() {

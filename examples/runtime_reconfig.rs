@@ -66,7 +66,7 @@ fn main() {
     let train = RegularGenerator::new(SimDuration::from_us(300), 4).generate(SimTime::from_ms(6));
     let interface = AerToI2sInterface::new(InterfaceConfig::prototype()).expect("valid config");
     let writes = [(SimTime::from_ms(3), Register::NDiv, 6u32)];
-    let report = interface.run_with_reconfig(train, SimTime::from_ms(6), &writes);
+    let report = interface.run_with_reconfig(&train, SimTime::from_ms(6), &writes);
     let (head, tail) = report.events.split_at(report.events.len() / 2);
     let saturated = |evs: &[aetr::interface::TimestampedEvent]| {
         evs.iter().filter(|e| e.event.timestamp.ticks() == 960).count()

@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Run the interface: it should sleep outside the motion window.
     let interface = AerToI2sInterface::new(InterfaceConfig::prototype())?;
-    let report = interface.run(events, horizon);
+    let report = interface.run(&events, horizon);
     println!("\ninterface:");
     println!("  power over 1 s: {}", report.power.total);
     println!("  clock off for:  {} of 1 s", report.activity.off);

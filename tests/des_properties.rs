@@ -59,7 +59,7 @@ proptest! {
             .unwrap_or(SimTime::ZERO)
             .saturating_add(SimDuration::from_us(100));
         let interface = AerToI2sInterface::new(config).expect("valid config");
-        let report = interface.run(train.clone(), horizon);
+        let report = interface.run(&train, horizon);
 
         // Conservation.
         prop_assert_eq!(report.events.len(), train.len());
@@ -102,7 +102,7 @@ proptest! {
         let config = InterfaceConfig::prototype();
         let horizon = train.last_time().unwrap() + SimDuration::from_us(100);
         let interface = AerToI2sInterface::new(config).expect("valid config");
-        let report = interface.run(train, horizon);
+        let report = interface.run(&train, horizon);
         let base = config.clock.base_sampling_period();
         for w in report.events.windows(2) {
             let measured = w[1].event.timestamp.to_interval(base);

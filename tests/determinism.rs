@@ -84,8 +84,8 @@ fn behavioral_and_des_pipelines_are_deterministic() {
         quantize_train(&clock, &train, SimTime::from_ms(10))
     );
     let interface = AerToI2sInterface::new(InterfaceConfig::prototype()).unwrap();
-    let a = interface.run(train.clone(), SimTime::from_ms(10));
-    let b = interface.run(train, SimTime::from_ms(10));
+    let a = interface.run(&train, SimTime::from_ms(10));
+    let b = interface.run(&train, SimTime::from_ms(10));
     assert_eq!(a, b);
 }
 
@@ -100,8 +100,8 @@ fn fault_injection_is_deterministic() {
         i2s_frame_slip: 0.01,
         ..FaultRates::default()
     });
-    let a = interface.run_with_faults(train.clone(), SimTime::from_ms(10), &plan);
-    let b = interface.run_with_faults(train, SimTime::from_ms(10), &plan);
+    let a = interface.run_with_faults(&train, SimTime::from_ms(10), &plan);
+    let b = interface.run_with_faults(&train, SimTime::from_ms(10), &plan);
     assert_eq!(a.health, b.health, "same seed, same health report");
     assert_eq!(a, b, "same seed, same full report");
     assert!(!a.health.is_nominal(), "the plan actually injected something");
@@ -112,10 +112,10 @@ fn zero_rate_fault_plan_is_invisible() {
     use aetr_faults::FaultPlan;
     let train = PoissonGenerator::new(60_000.0, 64, 5).generate(SimTime::from_ms(10));
     let interface = AerToI2sInterface::new(InterfaceConfig::prototype()).unwrap();
-    let plain = interface.run(train.clone(), SimTime::from_ms(10));
+    let plain = interface.run(&train, SimTime::from_ms(10));
     // Any seed: a zero-rate injector never consumes a draw.
     let with_plan =
-        interface.run_with_faults(train, SimTime::from_ms(10), &FaultPlan::nominal(12345));
+        interface.run_with_faults(&train, SimTime::from_ms(10), &FaultPlan::nominal(12345));
     assert_eq!(plain, with_plan, "zero-rate plan must be bit-identical to no injector");
     assert!(with_plan.health.is_nominal());
 }

@@ -14,7 +14,7 @@ use aetr_sim::time::{SimDuration, SimTime};
 
 fn run_pipeline(train: SpikeTrain, horizon: SimTime) -> (SpikeTrain, FidelityReport) {
     let interface = AerToI2sInterface::new(InterfaceConfig::prototype()).expect("valid config");
-    let report = interface.run(train.clone(), horizon);
+    let report = interface.run(&train, horizon);
     report.handshake.verify_protocol().expect("protocol clean");
     let mcu = McuReceiver::new(interface.config().clock.base_sampling_period());
     let rebuilt = mcu.receive(&report.i2s);
@@ -57,7 +57,7 @@ fn bursty_stream_wakes_and_sleeps_through_the_chain() {
     )
     .generate(SimTime::from_ms(100));
     let interface = AerToI2sInterface::new(InterfaceConfig::prototype()).expect("valid config");
-    let report = interface.run(train.clone(), SimTime::from_ms(100));
+    let report = interface.run(&train, SimTime::from_ms(100));
     assert!(report.wake_count > 0, "silence gaps must stop the clock");
     assert!(
         report.power.total.as_milliwatts() < 3.0,
@@ -84,7 +84,7 @@ fn behavioral_reconstruction_matches_mcu_reconstruction() {
     // agree: same math, two implementations.
     let train = PoissonGenerator::new(60_000.0, 32, 23).generate(SimTime::from_ms(10));
     let interface = AerToI2sInterface::new(InterfaceConfig::prototype()).expect("valid config");
-    let report = interface.run(train, SimTime::from_ms(10));
+    let report = interface.run(&train, SimTime::from_ms(10));
     let base = interface.config().clock.base_sampling_period();
 
     let events: Vec<_> = report.events.iter().map(|e| e.event).collect();
@@ -96,7 +96,7 @@ fn behavioral_reconstruction_matches_mcu_reconstruction() {
 #[test]
 fn empty_input_produces_empty_but_valid_outputs() {
     let interface = AerToI2sInterface::new(InterfaceConfig::prototype()).expect("valid config");
-    let report = interface.run(SpikeTrain::new(), SimTime::from_ms(10));
+    let report = interface.run(&SpikeTrain::new(), SimTime::from_ms(10));
     assert!(report.events.is_empty());
     assert!(report.i2s.is_empty());
     assert_eq!(report.fifo_stats.pushed, 0);

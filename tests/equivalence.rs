@@ -21,7 +21,7 @@ fn timestamps_agree_across_policies() {
         let cfg = ideal_front_end(clock);
         let train = PoissonGenerator::new(60_000.0, 32, 31).generate(SimTime::from_ms(10));
 
-        let des = AerToI2sInterface::new(cfg).unwrap().run(train.clone(), SimTime::from_ms(10));
+        let des = AerToI2sInterface::new(cfg).unwrap().run(&train, SimTime::from_ms(10));
         let behav = quantize_train(&clock, &train, SimTime::from_ms(10));
 
         assert_eq!(des.events.len(), behav.records.len());
@@ -52,7 +52,7 @@ fn wake_counts_agree() {
     let cfg = ideal_front_end(clock);
     // Sparse stream: every event beyond the ~64 us range.
     let train = PoissonGenerator::new(500.0, 8, 37).generate(SimTime::from_ms(200));
-    let des = AerToI2sInterface::new(cfg).unwrap().run(train.clone(), SimTime::from_ms(200));
+    let des = AerToI2sInterface::new(cfg).unwrap().run(&train, SimTime::from_ms(200));
     let behav = quantize_train(&clock, &train, SimTime::from_ms(200));
     let diff = (des.wake_count as i64 - behav.activity.wake_count as i64).abs();
     assert!(
@@ -71,7 +71,7 @@ fn power_agrees_within_ten_percent_across_rates() {
         let cfg = ideal_front_end(clock);
         let horizon = SimTime::from_ms(ms);
         let train = LfsrGenerator::new(rate, 0xE0).generate(horizon);
-        let des = AerToI2sInterface::new(cfg).unwrap().run(train.clone(), horizon);
+        let des = AerToI2sInterface::new(cfg).unwrap().run(&train, horizon);
         let behav = quantize_train(&clock, &train, horizon);
         let p_des = des.power.total.as_microwatts();
         let p_behav = model.evaluate(&behav.activity).total.as_microwatts();
@@ -85,7 +85,7 @@ fn saturation_flags_agree() {
     let clock = ClockGenConfig::prototype();
     let cfg = ideal_front_end(clock);
     let train = PoissonGenerator::new(8_000.0, 16, 41).generate(SimTime::from_ms(100));
-    let des = AerToI2sInterface::new(cfg).unwrap().run(train.clone(), SimTime::from_ms(100));
+    let des = AerToI2sInterface::new(cfg).unwrap().run(&train, SimTime::from_ms(100));
     let behav = quantize_train(&clock, &train, SimTime::from_ms(100));
     let max_ticks =
         aetr_clockgen::segments::SegmentTable::new(&clock).max_counter().expect("recursive policy");
@@ -114,7 +114,7 @@ fn prototype_front_end_only_degrades_accuracy_slightly() {
 
     let mean_err = |front_end| {
         let cfg = InterfaceConfig { clock, front_end, ..InterfaceConfig::prototype() };
-        let des = AerToI2sInterface::new(cfg).unwrap().run(train.clone(), SimTime::from_ms(10));
+        let des = AerToI2sInterface::new(cfg).unwrap().run(&train, SimTime::from_ms(10));
         let errs: Vec<f64> = des
             .events
             .windows(2)

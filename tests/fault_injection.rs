@@ -23,7 +23,7 @@ fn lost_acks_are_recovered_by_the_watchdog() {
     let n = train.len();
     let plan =
         FaultPlan::nominal(7).with_rates(FaultRates { lost_ack: 0.25, ..FaultRates::default() });
-    let report = prototype().run_with_faults(train, SimTime::from_ms(10), &plan);
+    let report = prototype().run_with_faults(&train, SimTime::from_ms(10), &plan);
 
     assert!(report.health.lost_acks > 0, "the fault actually fired");
     assert!(report.health.acks_recovered > 0, "the watchdog re-drove ACK successfully");
@@ -47,7 +47,7 @@ fn wake_failure_enters_degraded_mode_with_monotonic_timestamps() {
     let n = train.len();
     let plan =
         FaultPlan::nominal(3).with_rates(FaultRates { wake_failure: 1.0, ..FaultRates::default() });
-    let report = prototype().run_with_faults(train, SimTime::from_ms(25), &plan);
+    let report = prototype().run_with_faults(&train, SimTime::from_ms(25), &plan);
 
     assert!(report.health.degraded, "the watchdog gave up on pausible clocking");
     assert!(report.health.forced_wakes >= 1);
@@ -70,9 +70,9 @@ fn wake_failure_enters_degraded_mode_with_monotonic_timestamps() {
 fn zero_rate_plan_is_bit_identical_to_plain_run() {
     let train = PoissonGenerator::new(80_000.0, 64, 11).generate(SimTime::from_ms(10));
     let interface = prototype();
-    let plain = interface.run(train.clone(), SimTime::from_ms(10));
+    let plain = interface.run(&train, SimTime::from_ms(10));
     let nominal =
-        interface.run_with_faults(train, SimTime::from_ms(10), &FaultPlan::nominal(424_242));
+        interface.run_with_faults(&train, SimTime::from_ms(10), &FaultPlan::nominal(424_242));
     assert_eq!(plain, nominal, "zero-rate plan must not perturb anything");
     assert!(nominal.health.is_nominal());
 }
@@ -100,7 +100,7 @@ fn scheduled_oscillator_stall_recovers_on_the_next_request() {
     let train = PoissonGenerator::new(20_000.0, 32, 9).generate(SimTime::from_ms(5));
     let n = train.len();
     let plan = FaultPlan::nominal(0).schedule(SimTime::from_ms(1), FaultKind::StuckOscillator);
-    let report = prototype().run_with_faults(train, SimTime::from_ms(5), &plan);
+    let report = prototype().run_with_faults(&train, SimTime::from_ms(5), &plan);
 
     assert_eq!(report.health.oscillator_stalls, 1);
     assert_eq!(report.events.len(), n, "the stall costs latency, not events");
@@ -117,7 +117,7 @@ fn malformed_transactions_fail_protocol_verification() {
     let train = PoissonGenerator::new(50_000.0, 64, 3).generate(SimTime::from_ms(2));
     let plan =
         FaultPlan::nominal(5).with_rates(FaultRates { malformed: 1.0, ..FaultRates::default() });
-    let report = prototype().run_with_faults(train, SimTime::from_ms(2), &plan);
+    let report = prototype().run_with_faults(&train, SimTime::from_ms(2), &plan);
     assert!(report.health.malformed_transactions > 0);
     assert!(report.handshake.verify_protocol().is_err(), "the verifier catches the corruption");
 }
@@ -131,7 +131,7 @@ fn stuck_req_phantoms_are_discarded() {
     let n = train.len();
     let plan =
         FaultPlan::nominal(17).with_rates(FaultRates { stuck_req: 0.5, ..FaultRates::default() });
-    let report = prototype().run_with_faults(train, SimTime::from_ms(5), &plan);
+    let report = prototype().run_with_faults(&train, SimTime::from_ms(5), &plan);
     assert!(report.health.stuck_requests > 0);
     assert!(report.health.spurious_samples > 0, "phantom samples were seen and dropped");
     assert_eq!(report.events.len(), n, "each event captured exactly once");
@@ -147,7 +147,7 @@ fn fifo_bit_flips_corrupt_the_stream_not_the_capture_log() {
     let n = train.len();
     let plan = FaultPlan::nominal(2)
         .with_rates(FaultRates { fifo_bit_flip: 1.0, ..FaultRates::default() });
-    let report = prototype().run_with_faults(train, SimTime::from_ms(2), &plan);
+    let report = prototype().run_with_faults(&train, SimTime::from_ms(2), &plan);
     assert_eq!(report.health.fifo_bit_flips, n as u64, "every stored word was hit");
     let decoded = decode_frames(&report.i2s);
     assert_eq!(decoded.len(), n);
@@ -168,7 +168,7 @@ fn frame_slips_are_accounted_event_by_event() {
     let n = train.len();
     let plan = FaultPlan::nominal(8)
         .with_rates(FaultRates { i2s_frame_slip: 1.0, ..FaultRates::default() });
-    let report = prototype().run_with_faults(train, SimTime::from_ms(2), &plan);
+    let report = prototype().run_with_faults(&train, SimTime::from_ms(2), &plan);
     assert_eq!(report.i2s.event_count(), 0, "every frame slipped");
     assert_eq!(report.health.events_lost_to_slips, n as u64);
     assert_eq!(report.events.len(), n, "capture itself was unaffected");

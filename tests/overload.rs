@@ -24,7 +24,7 @@ fn slow_i2s_link_overflows_the_fifo_not_the_sim() {
     let interface = AerToI2sInterface::new(cfg).unwrap();
     let train = LfsrGenerator::new(200_000.0, 0xBAD).generate(SimTime::from_ms(20));
     let offered = train.len() as u64;
-    let report = interface.run(train, SimTime::from_ms(20));
+    let report = interface.run(&train, SimTime::from_ms(20));
 
     assert!(report.fifo_stats.dropped > 0, "expected overflow drops");
     assert_eq!(report.fifo_stats.pushed + report.fifo_stats.dropped, offered);
@@ -48,7 +48,7 @@ fn drop_oldest_policy_keeps_the_freshest_events() {
     let interface = AerToI2sInterface::new(cfg).unwrap();
     let train = RegularGenerator::from_rate(100_000.0, 1000).generate(SimTime::from_ms(10));
     let last_addr = train.as_slice().last().unwrap().addr;
-    let report = interface.run(train, SimTime::from_ms(10));
+    let report = interface.run(&train, SimTime::from_ms(10));
     assert!(report.fifo_stats.dropped > 0);
     // The newest event always survives under DropOldest.
     let delivered: Vec<u16> =
@@ -65,7 +65,7 @@ fn sustained_rate_beyond_service_rate_backpressures_the_sensor() {
     let interface = AerToI2sInterface::new(InterfaceConfig::prototype()).unwrap();
     let train = RegularGenerator::from_rate(12_000_000.0, 16).generate(SimTime::from_us(100));
     let n = train.len();
-    let report = interface.run(train, SimTime::from_us(100));
+    let report = interface.run(&train, SimTime::from_us(100));
     assert_eq!(report.events.len(), n, "AER never loses events, it backpressures");
     let max_queue = report.handshake.max_queue_delay().unwrap();
     assert!(
@@ -91,7 +91,7 @@ fn minimum_fifo_still_functions() {
     let interface = AerToI2sInterface::new(cfg).unwrap();
     let train = RegularGenerator::from_rate(10_000.0, 4).generate(SimTime::from_ms(5));
     let n = train.len();
-    let report = interface.run(train, SimTime::from_ms(5));
+    let report = interface.run(&train, SimTime::from_ms(5));
     // At 10 kevt/s one event drains long before the next arrives.
     assert_eq!(report.fifo_stats.dropped, 0);
     assert_eq!(report.i2s.event_count(), n);
@@ -104,7 +104,7 @@ fn horizon_before_last_spike_still_completes_all_events() {
     let interface = AerToI2sInterface::new(InterfaceConfig::prototype()).unwrap();
     let train = RegularGenerator::from_rate(1_000.0, 4).generate(SimTime::from_ms(50));
     let n = train.len();
-    let report = interface.run(train, SimTime::from_ms(10));
+    let report = interface.run(&train, SimTime::from_ms(10));
     assert_eq!(report.events.len(), n);
     assert_eq!(report.i2s.event_count(), n);
 }

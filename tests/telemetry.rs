@@ -48,7 +48,7 @@ fn assert_functionally_identical(a: &InterfaceReport, b: &InterfaceReport) {
 #[test]
 fn noop_sink_matches_pre_pr_golden() {
     let train = PoissonGenerator::new(50_000.0, 64, 7).generate(SimTime::from_ms(10));
-    let report = prototype().run(train, SimTime::from_ms(10));
+    let report = prototype().run(&train, SimTime::from_ms(10));
     assert!(report.telemetry.is_empty(), "run() uses the no-op sink");
 
     assert_eq!(report.events.len(), GOLDEN_EVENTS);
@@ -68,9 +68,9 @@ fn enabled_collector_is_purely_observational() {
     let horizon = SimTime::from_ms(10);
     let train = bursty_train(horizon);
     let interface = prototype();
-    let plain = interface.run(train.clone(), horizon);
+    let plain = interface.run(&train, horizon);
     let telemetered = interface.run_with_telemetry(
-        train,
+        &train,
         horizon,
         &FaultPlan::nominal(0),
         &TelemetryConfig::with_cadence(SimDuration::from_us(50)),
@@ -91,7 +91,7 @@ fn clock_residency_sums_to_horizon_on_bursty_train() {
     let horizon = SimTime::from_ms(10);
     let train = bursty_train(SimTime::from_ms(8));
     let report = prototype().run_with_telemetry(
-        train,
+        &train,
         horizon,
         &FaultPlan::nominal(0),
         &TelemetryConfig::enabled(),
@@ -118,7 +118,7 @@ fn metrics_agree_with_the_report_aggregates() {
     let horizon = SimTime::from_ms(10);
     let train = bursty_train(horizon);
     let report = prototype().run_with_telemetry(
-        train,
+        &train,
         horizon,
         &FaultPlan::nominal(0),
         &TelemetryConfig::enabled(),
@@ -152,7 +152,7 @@ fn live_sampler_tracks_rate_power_divider_and_depth() {
     let cadence = SimDuration::from_us(100);
     let train = bursty_train(horizon);
     let report = prototype().run_with_telemetry(
-        train,
+        &train,
         horizon,
         &FaultPlan::nominal(0),
         &TelemetryConfig::with_cadence(cadence),
@@ -192,10 +192,9 @@ fn faulted_runs_emit_the_same_health_metric_names() {
     let interface = prototype();
     let plan =
         FaultPlan::nominal(7).with_rates(FaultRates { lost_ack: 0.25, ..FaultRates::default() });
-    let faulted =
-        interface.run_with_telemetry(train.clone(), horizon, &plan, &TelemetryConfig::enabled());
+    let faulted = interface.run_with_telemetry(&train, horizon, &plan, &TelemetryConfig::enabled());
     let clean = interface.run_with_telemetry(
-        train,
+        &train,
         horizon,
         &FaultPlan::nominal(0),
         &TelemetryConfig::enabled(),
@@ -223,7 +222,7 @@ fn exports_parse_and_validate() {
     let horizon = SimTime::from_ms(5);
     let train = bursty_train(horizon);
     let report = prototype().run_with_telemetry(
-        train,
+        &train,
         horizon,
         &FaultPlan::nominal(0),
         &TelemetryConfig::enabled(),
