@@ -138,6 +138,12 @@ impl HandshakeLog {
         HandshakeLog::default()
     }
 
+    /// Creates an empty log with room for `capacity` transactions, so
+    /// a runner that knows its stimulus size never reallocates.
+    pub fn with_capacity(capacity: usize) -> HandshakeLog {
+        HandshakeLog { transactions: Vec::with_capacity(capacity) }
+    }
+
     /// Appends a completed transaction.
     pub fn push(&mut self, t: Transaction) {
         self.transactions.push(t);

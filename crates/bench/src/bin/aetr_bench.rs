@@ -1,11 +1,13 @@
 //! `aetr-bench` — recorded throughput baseline for the DES interface.
 //!
-//! Runs the full AER→I2S interface at the three Criterion operating
-//! points (10 k / 100 k / 400 k evt/s, LFSR seed `0xB`, 10 ms horizon)
-//! plus a fault-campaign sweep, and writes the measured throughput
-//! (simulated events per wall-clock second, median wall-clock per
-//! point, and event-queue operations per second from the telemetry
-//! profiling hook) as machine-readable JSON.
+//! Runs the full AER→I2S interface at five operating points — the
+//! three dense Criterion points (10 k / 100 k / 400 k evt/s over
+//! 10 ms) plus two idle-heavy sparse points (100 evt/s and 1 k evt/s
+//! over a full second, where the analytic idle fast-forward dominates)
+//! — all with LFSR seed `0xB`, plus a fault-campaign sweep, and writes
+//! the measured throughput (simulated events per wall-clock second,
+//! median wall-clock per point, and event-queue operations per second
+//! from the telemetry profiling hook) as machine-readable JSON.
 //!
 //! The committed `BENCH_interface.json` at the repo root is this tool's
 //! output and doubles as the regression baseline: `--check <path>`
@@ -17,13 +19,14 @@
 //! ```text
 //! aetr-bench [--quick] [--out <file.json>] [--check <baseline.json>]
 //!            [--tolerance <fraction>] [--jobs N]
+//!            [--engine fast-forward|per-tick]
 //! ```
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use aetr::campaign::{CampaignConfig, FaultCampaign};
-use aetr::interface::{AerToI2sInterface, InterfaceConfig, TelemetryConfig};
+use aetr::interface::{AerToI2sInterface, InterfaceConfig, SimEngine, TelemetryConfig};
 use aetr_aer::generator::{LfsrGenerator, SpikeSource};
 use aetr_analysis::sweep::log_space;
 use aetr_faults::FaultPlan;
@@ -36,6 +39,7 @@ aetr-bench — DES interface throughput baseline
 USAGE:
   aetr-bench [--quick] [--out <file.json>] [--check <baseline.json>]
              [--tolerance <fraction>] [--jobs N]
+             [--engine fast-forward|per-tick]
 
   --quick      3 timing iterations per point instead of 9 (CI smoke)
   --out        where to write the JSON report (default BENCH_interface.json)
@@ -45,19 +49,28 @@ USAGE:
   --tolerance  allowed relative regression for --check (default 0.2)
   --jobs       worker threads for the campaign sweep (0 = all cores,
                the default); never changes simulation output
+  --engine     simulation engine to time (default fast-forward);
+               per-tick is the reference model whose hot path matches
+               the pre-fast-forward code, used to record `pre_pr`
+               medians — reports are bit-identical either way
 ";
 
-/// The Criterion `des_interface` operating points (events per second).
-const RATES: [f64; 3] = [10_000.0, 100_000.0, 400_000.0];
-/// Stimulus seed and horizon shared with `benches/interface.rs`.
+/// Operating points as `(events per second, horizon in ms)`: the three
+/// dense Criterion `des_interface` points over 10 ms, and two
+/// idle-heavy sparse points over a full second where nearly all
+/// simulated time is clock-idle silence.
+const POINTS: [(f64, u64); 5] =
+    [(100.0, 1_000), (1_000.0, 1_000), (10_000.0, 10), (100_000.0, 10), (400_000.0, 10)];
+/// Stimulus seed shared with `benches/interface.rs`.
 const SEED: u32 = 0xB;
-const HORIZON_MS: u64 = 10;
 
-/// Same-machine seed measurements taken immediately before the
-/// tombstone-queue/LTO overhaul landed, so the committed report carries
-/// its own before/after story. Wall-clock medians only — absolute
-/// numbers are machine-specific; the before/after *ratio* is the claim.
-const PRE_PR: [(f64, f64); 3] = [(10_000.0, 0.861), (100_000.0, 4.646), (400_000.0, 7.490)];
+/// Same-machine medians measured immediately before the analytic idle
+/// fast-forward landed (equivalently: `--engine per-tick`, whose hot
+/// path is the pre-PR code), so the committed report carries its own
+/// before/after story. Wall-clock medians only — absolute numbers are
+/// machine-specific; the before/after *ratio* is the claim.
+const PRE_PR: [(f64, f64); 5] =
+    [(100.0, 0.908), (1_000.0, 11.177), (10_000.0, 0.999), (100_000.0, 4.112), (400_000.0, 8.003)];
 
 struct BenchArgs {
     quick: bool,
@@ -65,6 +78,7 @@ struct BenchArgs {
     check: Option<String>,
     tolerance: f64,
     jobs: usize,
+    engine: SimEngine,
 }
 
 fn parse_args(argv: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
@@ -74,6 +88,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
         check: None,
         tolerance: 0.2,
         jobs: 0,
+        engine: SimEngine::EventProportional,
     };
     let mut argv = argv;
     while let Some(arg) = argv.next() {
@@ -94,6 +109,13 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
                 args.jobs =
                     value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}\n{USAGE}"))?;
             }
+            "--engine" => {
+                args.engine = match value("--engine")?.as_str() {
+                    "fast-forward" => SimEngine::EventProportional,
+                    "per-tick" => SimEngine::PerTickReference,
+                    other => return Err(format!("unknown engine '{other}'\n{USAGE}")),
+                };
+            }
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
         }
@@ -107,6 +129,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
 /// One measured operating point.
 struct PointResult {
     rate_hz: f64,
+    horizon_ms: u64,
     events: u64,
     wall_ms_median: f64,
     sim_events_per_sec: f64,
@@ -119,10 +142,17 @@ fn median(samples: &mut [f64]) -> f64 {
     samples[samples.len() / 2]
 }
 
-fn measure_point(rate_hz: f64, iterations: usize) -> PointResult {
-    let horizon = SimTime::from_ms(HORIZON_MS);
+fn measure_point(
+    rate_hz: f64,
+    horizon_ms: u64,
+    iterations: usize,
+    engine: SimEngine,
+) -> PointResult {
+    let horizon = SimTime::from_ms(horizon_ms);
     let train = LfsrGenerator::new(rate_hz, SEED).generate(horizon);
-    let interface = AerToI2sInterface::new(InterfaceConfig::prototype()).expect("valid prototype");
+    let interface = AerToI2sInterface::new(InterfaceConfig::prototype())
+        .expect("valid prototype")
+        .with_engine(engine);
 
     // Timed iterations run the plain (telemetry-free) entry point —
     // exactly what the Criterion benchmark times. One warm-up first.
@@ -151,6 +181,7 @@ fn measure_point(rate_hz: f64, iterations: usize) -> PointResult {
     let wall_secs = wall_ms_median / 1e3;
     PointResult {
         rate_hz,
+        horizon_ms,
         events,
         wall_ms_median,
         sim_events_per_sec: events as f64 / wall_secs,
@@ -170,12 +201,19 @@ fn measure_campaign(quick: bool, jobs: usize) -> (usize, f64) {
     (fault_points, started.elapsed().as_secs_f64() * 1e3)
 }
 
+fn engine_label(engine: SimEngine) -> &'static str {
+    match engine {
+        SimEngine::EventProportional => "fast-forward",
+        SimEngine::PerTickReference => "per-tick",
+    }
+}
+
 fn report_json(args: &BenchArgs, points: &[PointResult], campaign: (usize, f64)) -> Json {
     Json::object([
-        ("version", Json::from(1u64)),
+        ("version", Json::from(2u64)),
         ("bench", Json::from("des_interface")),
         ("generator", Json::from(format!("lfsr seed 0x{SEED:X}"))),
-        ("horizon_ms", Json::from(HORIZON_MS)),
+        ("engine", Json::from(engine_label(args.engine))),
         ("quick", Json::from(args.quick)),
         (
             "points",
@@ -185,6 +223,7 @@ fn report_json(args: &BenchArgs, points: &[PointResult], campaign: (usize, f64))
                     .map(|p| {
                         Json::object([
                             ("rate_hz", Json::from(p.rate_hz)),
+                            ("horizon_ms", Json::from(p.horizon_ms)),
                             ("events", Json::from(p.events)),
                             ("wall_ms_median", Json::from(p.wall_ms_median)),
                             ("sim_events_per_sec", Json::from(p.sim_events_per_sec)),
@@ -209,9 +248,10 @@ fn report_json(args: &BenchArgs, points: &[PointResult], campaign: (usize, f64))
                 (
                     "note",
                     Json::from(
-                        "seed-code medians on the same machine, recorded before the \
-                         tombstone-queue + thin-LTO overhaul; compare wall_ms_median \
-                         per rate for the speedup ratio",
+                        "same-machine medians recorded before the analytic idle \
+                         fast-forward landed (the per-tick reference engine's hot \
+                         path); compare wall_ms_median per rate for the speedup \
+                         ratio",
                     ),
                 ),
                 (
@@ -288,17 +328,20 @@ fn run(args: &BenchArgs) -> Result<String, String> {
     let iterations = if args.quick { 3 } else { 9 };
     let mut summary = String::new();
     summary.push_str(&format!(
-        "aetr-bench: {iterations} iterations/point, {HORIZON_MS} ms horizon, \
-         campaign jobs {}\n",
+        "aetr-bench: {iterations} iterations/point, {} engine, campaign jobs {}\n",
+        engine_label(args.engine),
         args.jobs
     ));
 
-    let points: Vec<PointResult> =
-        RATES.iter().map(|&rate| measure_point(rate, iterations)).collect();
+    let points: Vec<PointResult> = POINTS
+        .iter()
+        .map(|&(rate, horizon_ms)| measure_point(rate, horizon_ms, iterations, args.engine))
+        .collect();
     for p in &points {
         summary.push_str(&format!(
-            "  {:>9.0} evt/s: {:>8.3} ms median, {:.3e} sim-ev/s, {:.3e} queue-ops/s\n",
-            p.rate_hz, p.wall_ms_median, p.sim_events_per_sec, p.queue_ops_per_sec,
+            "  {:>9.0} evt/s x {:>4} ms: {:>8.3} ms median, {:.3e} sim-ev/s, \
+             {:.3e} queue-ops/s\n",
+            p.rate_hz, p.horizon_ms, p.wall_ms_median, p.sim_events_per_sec, p.queue_ops_per_sec,
         ));
     }
     let campaign = measure_campaign(args.quick, args.jobs);
@@ -351,6 +394,7 @@ mod tests {
         assert!(args.check.is_none());
         assert_eq!(args.tolerance, 0.2);
         assert!(args.jobs >= 1, "0 resolves to all cores");
+        assert_eq!(args.engine, SimEngine::EventProportional);
 
         let args = parse_args(
             [
@@ -363,6 +407,8 @@ mod tests {
                 "0.5",
                 "--jobs",
                 "2",
+                "--engine",
+                "per-tick",
             ]
             .iter()
             .map(|s| s.to_string()),
@@ -373,6 +419,7 @@ mod tests {
         assert_eq!(args.check.as_deref(), Some("b.json"));
         assert_eq!(args.tolerance, 0.5);
         assert_eq!(args.jobs, 2);
+        assert_eq!(args.engine, SimEngine::PerTickReference);
     }
 
     #[test]
@@ -380,6 +427,7 @@ mod tests {
         assert!(parse_args(["--frob"].iter().map(|s| s.to_string())).is_err());
         assert!(parse_args(["--out"].iter().map(|s| s.to_string())).is_err());
         assert!(parse_args(["--tolerance", "1.5"].iter().map(|s| s.to_string())).is_err());
+        assert!(parse_args(["--engine", "warp"].iter().map(|s| s.to_string())).is_err());
     }
 
     #[test]
@@ -387,6 +435,7 @@ mod tests {
         let args = parse_args(["--quick"].iter().map(|s| s.to_string())).unwrap();
         let points = vec![PointResult {
             rate_hz: 10_000.0,
+            horizon_ms: 10,
             events: 100,
             wall_ms_median: 1.0,
             sim_events_per_sec: 100_000.0,
@@ -408,6 +457,7 @@ mod tests {
     fn check_flags_regressions_and_passes_improvements() {
         let fresh = vec![PointResult {
             rate_hz: 400_000.0,
+            horizon_ms: 10,
             events: 4_000,
             wall_ms_median: 5.0,
             sim_events_per_sec: 800_000.0,

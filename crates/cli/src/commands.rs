@@ -30,7 +30,8 @@ USAGE:
   aetr-cli quantize --rate <evt/s> [--theta N] [--ndiv N] [--policy P]
                     [--duration-ms N] [--seed N] [--generator poisson|lfsr]
   aetr-cli run      --rate <evt/s> [--theta N] [--ndiv N] [--policy P]
-                    [--duration-ms N] [--seed N]      (full DES interface)
+                    [--duration-ms N] [--seed N]
+                    [--engine fast-forward|per-tick]  (full DES interface)
   aetr-cli replay   <file.aedat> [--theta N] [--ndiv N] [--policy P]
   aetr-cli record   <file.aedat> --rate <evt/s> [--duration-ms N] [--seed N]
                     [--generator poisson|lfsr|word]
@@ -49,6 +50,9 @@ USAGE:
   aetr-cli resources
 
 POLICIES: recursive (default) | divide-only | never | linear
+ENGINES:  fast-forward (default) skips idle tick chains analytically;
+          per-tick is the reference model (one DES event per clock
+          edge). Reports are bit-identical either way.
 JOBS:     --jobs N shards sweep points over N worker threads (0 = all
           cores); output is bit-identical to --jobs 1 for any N.
 ";
@@ -95,6 +99,23 @@ fn clock_config(args: &ParsedArgs) -> Result<ClockGenConfig, Box<dyn Error>> {
         ClockGenConfig::prototype().with_theta_div(theta).with_n_div(ndiv).with_policy(policy);
     config.validate()?;
     Ok(config)
+}
+
+/// Simulation-engine selection: `--engine fast-forward|per-tick`. Both
+/// engines produce bit-identical reports (pinned by the
+/// `event_proportional` differential proptest); `per-tick` exists as a
+/// reference model and for measuring the fast-forward speedup.
+fn engine_arg(args: &ParsedArgs) -> Result<aetr::interface::SimEngine, Box<dyn Error>> {
+    use aetr::interface::SimEngine;
+    match args.get_str("engine").unwrap_or("fast-forward") {
+        "fast-forward" => Ok(SimEngine::EventProportional),
+        "per-tick" => Ok(SimEngine::PerTickReference),
+        other => Err(Box::new(ArgsError::InvalidValue {
+            flag: "engine".into(),
+            value: other.into(),
+            expected: "engine (fast-forward|per-tick)",
+        })),
+    }
 }
 
 /// Worker-thread count for sweep commands: `--jobs N`, where `0` means
@@ -175,7 +196,7 @@ fn cmd_run(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
     let horizon = SimTime::from_ms(duration_ms);
     let train = PoissonGenerator::new(rate, 64, seed).generate(horizon);
     let n = train.len();
-    let interface = AerToI2sInterface::new(config)?;
+    let interface = AerToI2sInterface::new(config)?.with_engine(engine_arg(args)?);
     let report = interface.run(&train, horizon);
     report.handshake.verify_protocol()?;
 
@@ -697,6 +718,16 @@ mod tests {
         assert!(text.contains("power:"), "{text}");
         assert!(text.contains("latency:"), "{text}");
         assert!(text.contains("i2s:"), "{text}");
+    }
+
+    #[test]
+    fn run_engines_agree_and_bad_engine_errors() {
+        let line = |engine: &str| {
+            run_line(&["run", "--rate", "2000", "--duration-ms", "20", "--engine", engine]).unwrap()
+        };
+        assert_eq!(line("fast-forward"), line("per-tick"), "engines must report identically");
+        let err = run_line(&["run", "--rate", "2000", "--engine", "warp"]).unwrap_err();
+        assert!(err.to_string().contains("engine"), "{err}");
     }
 
     #[test]

@@ -24,7 +24,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use aetr_sim::time::SimDuration;
+use aetr_sim::time::{SimDuration, SimTime};
 
 use crate::config::{ClockGenConfig, DivisionPolicy};
 
@@ -46,6 +46,56 @@ pub enum FsmAction {
     },
     /// Quiet tick that switched the clock off.
     ShutDown,
+}
+
+/// What ends one segment of an idle batch advance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IdleBoundary {
+    /// The batch ran out of room before the barrier; the FSM is still
+    /// in the same period.
+    None,
+    /// The segment's last tick divided the clock.
+    Divided {
+        /// New period multiplier, in force from the boundary tick on.
+        multiplier: u64,
+    },
+    /// The segment's last tick switched the clock off.
+    ShutDown,
+}
+
+/// One maximal run of quiet ticks at a constant period multiplier,
+/// produced by [`SamplerFsm::advance_idle`].
+///
+/// Ticks land at `first_tick + i · multiplier · T_min` for
+/// `i ∈ [0, ticks)`; `last_tick` is the final one, and `boundary` says
+/// what that final tick did beyond advancing the counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdleSegment {
+    /// Time of the segment's first tick.
+    pub first_tick: SimTime,
+    /// Time of the segment's last tick (equals `first_tick` for a
+    /// single-tick segment).
+    pub last_tick: SimTime,
+    /// Number of ticks in the segment (≥ 1).
+    pub ticks: u64,
+    /// Period multiplier in force *during* the segment (the boundary
+    /// tick's own counter increment uses this value; a division takes
+    /// effect after it).
+    pub multiplier: u64,
+    /// What the last tick did.
+    pub boundary: IdleBoundary,
+}
+
+/// Result of a batch advance: the segments walked plus where the tick
+/// chain resumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdleAdvance {
+    /// Constant-multiplier segments, in time order. O(`N_div`) long:
+    /// every segment but the last ends in a division.
+    pub segments: Vec<IdleSegment>,
+    /// Time of the next tick, at or after the barrier — `None` if the
+    /// batch ended in shutdown (a stopped clock has no next tick).
+    pub next_tick: Option<SimTime>,
 }
 
 /// Cycle-accurate state of the Fig. 1 sampling FSM.
@@ -204,6 +254,135 @@ impl SamplerFsm {
     /// nothing.
     pub fn force_shutdown(&mut self) {
         self.asleep = true;
+    }
+
+    /// Batch-advances the quiet tick chain analytically: processes the
+    /// already-due tick at `first_tick` plus every subsequent tick
+    /// strictly before `barrier`, all with `request_pending = false`,
+    /// in O(`N_div`) work instead of one [`on_tick`](SamplerFsm::on_tick)
+    /// call per tick.
+    ///
+    /// Between requests the trajectory is closed-form — `θ_div` ticks
+    /// per multiplier level, then divide (or plateau, per the policy),
+    /// then shut down after `N_div` divisions — so a run of `k` quiet
+    /// ticks at multiplier `m` collapses to one counter update
+    /// (`k` clamped adds of `+m` equal one clamped add of `+k·m`,
+    /// because addition is monotone and the `counter_max` clamp is
+    /// absorbing). The resulting FSM state is bit-identical to `k`
+    /// per-tick steps; the returned segments carry enough structure
+    /// (tick times, multipliers, boundary actions) for callers to
+    /// replay the side effects — power-meter transitions, telemetry
+    /// residency, live samples — segment-wise with the same exactness.
+    ///
+    /// The tick at `first_tick` is processed even if it is at or past
+    /// the barrier (it was already popped by the caller); later ticks
+    /// stop at the barrier, and `next_tick` lands at or after it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while asleep, like `on_tick`.
+    pub fn advance_idle(&mut self, first_tick: SimTime, barrier: SimTime) -> IdleAdvance {
+        let mut segments = Vec::new();
+        let next_tick = self.advance_idle_into(first_tick, barrier, &mut segments);
+        IdleAdvance { segments, next_tick }
+    }
+
+    /// [`advance_idle`](SamplerFsm::advance_idle) into a caller-owned
+    /// buffer (cleared first), so a hot loop can reuse one allocation
+    /// across batches. Returns the resume time (`None` after shutdown).
+    pub fn advance_idle_into(
+        &mut self,
+        first_tick: SimTime,
+        barrier: SimTime,
+        out: &mut Vec<IdleSegment>,
+    ) -> Option<SimTime> {
+        assert!(!self.asleep, "advance_idle while the clock is stopped");
+        out.clear();
+        let mut t = first_tick;
+        // The tick at `first_tick` was already due; it is processed
+        // unconditionally even when the barrier is at or before it.
+        let mut forced = true;
+        loop {
+            let period = self.current_period();
+            // Ticks land at t, t+p, t+2p, …; those strictly before the
+            // barrier are ceil((barrier − t) / p) of them.
+            let gap = barrier.saturating_duration_since(t);
+            let mut avail =
+                if barrier > t { gap.as_ps().div_ceil(period.as_ps().max(1)) } else { 0 };
+            if forced {
+                avail = avail.max(1);
+                forced = false;
+            }
+            if avail == 0 {
+                return Some(t);
+            }
+            let to_boundary = u64::from(self.theta_div - self.cnt_sample);
+            let plateau = match self.policy {
+                DivisionPolicy::Never => true,
+                DivisionPolicy::DivideOnly => self.cnt_div == self.n_div,
+                DivisionPolicy::Recursive | DivisionPolicy::Linear => false,
+            };
+            if plateau || avail < to_boundary {
+                // No state-changing boundary inside the batch: either
+                // the policy plateaus (cnt_sample just wraps at θ_div)
+                // or the barrier arrives first.
+                self.step_counter(avail);
+                self.cnt_sample = if plateau {
+                    ((u64::from(self.cnt_sample) + avail) % u64::from(self.theta_div)) as u32
+                } else {
+                    self.cnt_sample + avail as u32
+                };
+                out.push(IdleSegment {
+                    first_tick: t,
+                    last_tick: t.saturating_add(period.saturating_mul(avail - 1)),
+                    ticks: avail,
+                    multiplier: self.multiplier,
+                    boundary: IdleBoundary::None,
+                });
+                return Some(t.saturating_add(period.saturating_mul(avail)));
+            }
+            // The division boundary lands inside the batch: close the
+            // segment at it and decide, exactly as `on_tick` would.
+            let boundary_tick = t.saturating_add(period.saturating_mul(to_boundary - 1));
+            self.step_counter(to_boundary);
+            self.cnt_sample = 0;
+            let during = self.multiplier;
+            if self.cnt_div == self.n_div {
+                // Recursive/Linear out of divisions (the plateauing
+                // policies never reach here): the clock stops.
+                self.asleep = true;
+                out.push(IdleSegment {
+                    first_tick: t,
+                    last_tick: boundary_tick,
+                    ticks: to_boundary,
+                    multiplier: during,
+                    boundary: IdleBoundary::ShutDown,
+                });
+                return None;
+            }
+            self.cnt_div += 1;
+            self.multiplier = match self.policy {
+                DivisionPolicy::Linear => self.multiplier + 1,
+                _ => self.multiplier * 2,
+            };
+            out.push(IdleSegment {
+                first_tick: t,
+                last_tick: boundary_tick,
+                ticks: to_boundary,
+                multiplier: during,
+                boundary: IdleBoundary::Divided { multiplier: self.multiplier },
+            });
+            t = boundary_tick.saturating_add(self.current_period());
+        }
+    }
+
+    /// `ticks` quiet-tick counter increments at the current multiplier,
+    /// collapsed into one clamped add.
+    fn step_counter(&mut self, ticks: u64) {
+        self.counter = self
+            .counter
+            .saturating_add(self.multiplier.saturating_mul(ticks))
+            .min(self.counter_max);
     }
 
     fn reset_measurement(&mut self) {
@@ -441,6 +620,149 @@ mod tests {
             fsm.on_tick(false);
         }
         fsm.on_tick(false);
+    }
+
+    /// Per-tick reference for `advance_idle`: steps one quiet tick at a
+    /// time with the scheduler's exact timing rule (next tick one
+    /// *post-action* period after the current one), recording every
+    /// action, until the barrier or shutdown.
+    fn reference_idle(
+        fsm: &mut SamplerFsm,
+        first_tick: SimTime,
+        barrier: SimTime,
+    ) -> (Vec<(SimTime, FsmAction)>, Option<SimTime>) {
+        let mut t = first_tick;
+        let mut forced = true;
+        let mut actions = Vec::new();
+        loop {
+            if !forced && t >= barrier {
+                return (actions, Some(t));
+            }
+            forced = false;
+            let action = fsm.on_tick(false);
+            actions.push((t, action));
+            if matches!(action, FsmAction::ShutDown) {
+                return (actions, None);
+            }
+            t = t.saturating_add(fsm.current_period());
+        }
+    }
+
+    /// The batch advance is bit-identical to per-tick stepping: same
+    /// final FSM state, same resume time, and segments that cover
+    /// exactly the reference's tick/division/shutdown trajectory —
+    /// across policies, θ/N knobs, mid-period starting phases and
+    /// barrier placements (including a barrier at or before the first
+    /// tick, which forces exactly one tick through).
+    #[test]
+    fn advance_idle_matches_per_tick_stepping() {
+        let base = cfg().base_sampling_period();
+        for policy in [
+            DivisionPolicy::Recursive,
+            DivisionPolicy::DivideOnly,
+            DivisionPolicy::Never,
+            DivisionPolicy::Linear,
+        ] {
+            for (theta, n_div) in [(2u32, 0u32), (3, 1), (8, 3), (5, 6)] {
+                let config = cfg().with_policy(policy).with_theta_div(theta).with_n_div(n_div);
+                for pre_ticks in [0u32, 1, 4, 9] {
+                    for barrier_ticks in [0u64, 1, 2, 7, 33, 400] {
+                        for skew in [SimDuration::ZERO, SimDuration::from_ps(1)] {
+                            let mut reference = SamplerFsm::new(&config);
+                            for _ in 0..pre_ticks {
+                                if reference.is_asleep() {
+                                    break;
+                                }
+                                reference.on_tick(false);
+                            }
+                            if reference.is_asleep() {
+                                continue;
+                            }
+                            let mut fast = reference.clone();
+                            let first = SimTime::from_us(3);
+                            let barrier =
+                                (first + base.saturating_mul(barrier_ticks)).saturating_add(skew);
+
+                            let (actions, ref_next) =
+                                reference_idle(&mut reference, first, barrier);
+                            let adv = fast.advance_idle(first, barrier);
+
+                            let case = format!(
+                                "policy {policy:?} θ={theta} N={n_div} \
+                                 pre={pre_ticks} barrier={barrier_ticks}+{skew}"
+                            );
+                            assert_eq!(fast, reference, "final FSM state ({case})");
+                            assert_eq!(adv.next_tick, ref_next, "resume time ({case})");
+                            let covered: u64 = adv.segments.iter().map(|s| s.ticks).sum();
+                            assert_eq!(covered, actions.len() as u64, "tick count ({case})");
+
+                            let mut idx = 0usize;
+                            for seg in &adv.segments {
+                                assert!(seg.ticks >= 1, "empty segment ({case})");
+                                assert_eq!(
+                                    seg.first_tick, actions[idx].0,
+                                    "segment start ({case})"
+                                );
+                                let last = idx + seg.ticks as usize - 1;
+                                assert_eq!(seg.last_tick, actions[last].0, "segment end ({case})");
+                                match seg.boundary {
+                                    IdleBoundary::Divided { multiplier } => assert_eq!(
+                                        actions[last].1,
+                                        FsmAction::Divided { multiplier },
+                                        "division boundary ({case})"
+                                    ),
+                                    IdleBoundary::ShutDown => assert_eq!(
+                                        actions[last].1,
+                                        FsmAction::ShutDown,
+                                        "shutdown boundary ({case})"
+                                    ),
+                                    IdleBoundary::None => assert_eq!(
+                                        actions[last].1,
+                                        FsmAction::Ticked,
+                                        "quiet boundary ({case})"
+                                    ),
+                                }
+                                // Interior ticks are all plain (a plateau
+                                // segment's θ-wraps are `Ticked` too).
+                                for (t_i, action) in &actions[idx..last] {
+                                    assert_eq!(
+                                        *action,
+                                        FsmAction::Ticked,
+                                        "interior tick at {t_i} ({case})"
+                                    );
+                                }
+                                idx += seg.ticks as usize;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn advance_idle_counter_saturates_like_per_tick() {
+        let config = ClockGenConfig { counter_bits: 6, ..cfg() }.with_theta_div(8).with_n_div(3);
+        let base = config.base_sampling_period();
+        let mut reference = SamplerFsm::new(&config);
+        let mut fast = reference.clone();
+        let first = SimTime::from_us(1);
+        let barrier = first + base.saturating_mul(10_000);
+        let (_, ref_next) = reference_idle(&mut reference, first, barrier);
+        let adv = fast.advance_idle(first, barrier);
+        assert_eq!(fast, reference);
+        assert_eq!(adv.next_tick, ref_next);
+        assert_eq!(fast.counter(), 63, "clamped at the 6-bit width");
+    }
+
+    #[test]
+    #[should_panic(expected = "stopped")]
+    fn advance_idle_while_asleep_panics() {
+        let mut fsm = SamplerFsm::new(&cfg());
+        while !fsm.is_asleep() {
+            fsm.on_tick(false);
+        }
+        fsm.advance_idle(SimTime::from_us(1), SimTime::from_us(2));
     }
 
     /// Ground-truth equivalence: stepping the FSM tick by tick and

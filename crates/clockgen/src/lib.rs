@@ -50,7 +50,7 @@ pub mod trim;
 
 pub use config::{ClockGenConfig, DivisionPolicy};
 pub use engine::{QuantizedEvent, SamplingEngine};
-pub use fsm::SamplerFsm;
+pub use fsm::{IdleAdvance, IdleBoundary, IdleSegment, SamplerFsm};
 pub use ring::{RingOscillator, RingOscillatorConfig};
 pub use segments::SegmentTable;
 

@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 use aetr_aer::handshake::{HandshakeLog, HandshakeSender, HandshakeTiming};
 use aetr_aer::spike::{Spike, SpikeTrain};
 use aetr_clockgen::config::{ClockGenConfig, ClockGenConfigError};
-use aetr_clockgen::fsm::{FsmAction, SamplerFsm};
+use aetr_clockgen::fsm::{FsmAction, IdleBoundary, IdleSegment, SamplerFsm};
 use aetr_faults::{
     FaultInjector, FaultKind, FaultPlan, HealthMonitor, InterfaceHealthReport, WatchdogConfig,
 };
@@ -167,6 +167,36 @@ pub struct InterfaceReport {
     pub telemetry: TelemetrySnapshot,
 }
 
+/// How the runner advances the sampling-clock tick chain.
+///
+/// Both engines produce **bit-identical** [`InterfaceReport`]s (pinned
+/// by a differential property test); they differ only in wall-clock
+/// cost. The non-default engine exists as the reference model the
+/// fast-forward is continuously tested against — enable the
+/// `per-tick-reference` cargo feature to flip the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimEngine {
+    /// Analytic idle fast-forward (the default): when no request, ACK
+    /// recovery, wake, or scheduled fault is in flight, the quiet tick
+    /// chain up to the next queue event is advanced in O(`N_div`)
+    /// closed-form segments instead of one DES event per clock edge,
+    /// making simulation cost proportional to *events*, not horizon.
+    EventProportional,
+    /// One DES event per sampling-clock edge — the cycle-by-cycle
+    /// reference model.
+    PerTickReference,
+}
+
+impl Default for SimEngine {
+    fn default() -> Self {
+        if cfg!(feature = "per-tick-reference") {
+            SimEngine::PerTickReference
+        } else {
+            SimEngine::EventProportional
+        }
+    }
+}
+
 /// Scheduled DES events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
@@ -209,6 +239,7 @@ enum Ev {
 pub struct AerToI2sInterface {
     config: InterfaceConfig,
     power_model: PowerModel,
+    engine: SimEngine,
 }
 
 impl AerToI2sInterface {
@@ -220,13 +251,29 @@ impl AerToI2sInterface {
     /// validate.
     pub fn new(config: InterfaceConfig) -> Result<AerToI2sInterface, InterfaceConfigError> {
         config.validate()?;
-        Ok(AerToI2sInterface { config, power_model: PowerModel::igloo_nano() })
+        Ok(AerToI2sInterface {
+            config,
+            power_model: PowerModel::igloo_nano(),
+            engine: SimEngine::default(),
+        })
     }
 
     /// Replaces the power model (e.g. a re-calibrated one).
     pub fn with_power_model(mut self, model: PowerModel) -> AerToI2sInterface {
         self.power_model = model;
         self
+    }
+
+    /// Selects the simulation engine (see [`SimEngine`]); reports are
+    /// bit-identical either way.
+    pub fn with_engine(mut self, engine: SimEngine) -> AerToI2sInterface {
+        self.engine = engine;
+        self
+    }
+
+    /// The selected simulation engine.
+    pub fn engine(&self) -> SimEngine {
+        self.engine
     }
 
     /// The configuration.
@@ -264,6 +311,7 @@ impl AerToI2sInterface {
             horizon,
             &FaultPlan::nominal(0),
             &TelemetryConfig::disabled(),
+            self.engine,
         )
         .run()
     }
@@ -306,8 +354,16 @@ impl AerToI2sInterface {
         plan: &FaultPlan,
         telemetry: &TelemetryConfig,
     ) -> InterfaceReport {
-        Runner::new(&self.config, &self.power_model, train.as_slice(), horizon, plan, telemetry)
-            .run()
+        Runner::new(
+            &self.config,
+            &self.power_model,
+            train.as_slice(),
+            horizon,
+            plan,
+            telemetry,
+            self.engine,
+        )
+        .run()
     }
 
     /// Like [`run`](Self::run), with SPI register writes applied at
@@ -338,6 +394,7 @@ impl AerToI2sInterface {
             horizon,
             &FaultPlan::nominal(0),
             &TelemetryConfig::disabled(),
+            self.engine,
         );
         runner.schedule_reconfigs(writes);
         runner.run()
@@ -497,11 +554,18 @@ struct Runner<'a> {
     wake_frozen: Option<u64>,
     /// `REQ` rise time of the in-flight request.
     current_request: Option<SimTime>,
-    /// Scheduled SPI register writes (time-indexed by `Ev::SpiWrite`).
-    reconfigs: Vec<(SimTime, crate::config_bus::Register, u32)>,
+    /// Scheduled SPI register writes (time-indexed by `Ev::SpiWrite`);
+    /// borrowed from the caller — the hot path never copies them.
+    reconfigs: &'a [(SimTime, crate::config_bus::Register, u32)],
     /// A drain is in progress (frames chained by `FrameDone`).
     draining: bool,
     wake_count: u64,
+
+    /// Tick-chain engine (per-tick reference vs analytic fast-forward).
+    engine: SimEngine,
+    /// Reusable segment buffer for the fast-forward path, so a batch
+    /// advance allocates nothing after warm-up.
+    idle_segments: Vec<IdleSegment>,
 
     /// Fault source (inert for an all-zero plan).
     injector: FaultInjector,
@@ -528,6 +592,7 @@ impl<'a> Runner<'a> {
         horizon: SimTime,
         plan: &FaultPlan,
         telemetry: &TelemetryConfig,
+        engine: SimEngine,
     ) -> Runner<'a> {
         let mut meter = PowerMeter::new(SimTime::ZERO);
         meter.clock_multiplier(SimTime::ZERO, 1);
@@ -548,13 +613,18 @@ impl<'a> Runner<'a> {
             i2s: I2sTransmitter::new(cfg.i2s),
             meter,
             regs: RegisterFile::from_config(&cfg.clock, cfg.fifo.watermark as u32),
-            log: HandshakeLog::new(),
-            events: Vec::new(),
+            // Every spike yields exactly one captured event and (in a
+            // fault-free run) one logged handshake; pre-size both so
+            // the hot loop never grows them.
+            log: HandshakeLog::with_capacity(spikes.len()),
+            events: Vec::with_capacity(spikes.len()),
             wake_frozen: None,
             current_request: None,
-            reconfigs: Vec::new(),
+            reconfigs: &[],
             draining: false,
             wake_count: 0,
+            engine,
+            idle_segments: Vec::new(),
             injector: FaultInjector::new(plan),
             watchdog: plan.watchdog,
             health: HealthMonitor::new(),
@@ -638,18 +708,30 @@ impl<'a> Runner<'a> {
         }
     }
 
-    /// Records live samples at every due instant strictly before `t`.
+    /// Records live samples at every due instant strictly before `t`,
+    /// against the *current* FSM state.
     ///
     /// No-op unless telemetry with a sampling cadence is enabled. The
     /// sampled state (event count, instantaneous power, divider level,
     /// FIFO depth) is constant over `(previous event, t)`, so each due
     /// point gets exact values without scheduling anything.
     fn sample_until(&mut self, t: SimTime) {
+        if self.tel.is_none() {
+            return;
+        }
+        let multiplier = if self.fsm.is_asleep() { None } else { Some(self.fsm.multiplier()) };
+        self.emit_samples(t, multiplier);
+    }
+
+    /// [`sample_until`](Runner::sample_until) against an explicit
+    /// divider multiplier — the fast-forward path calls this once per
+    /// idle segment, with the multiplier that was in force over it, so
+    /// batched runs record the exact series per-tick stepping would.
+    fn emit_samples(&mut self, t: SimTime, multiplier: Option<u64>) {
         let due = match self.tel.as_deref().and_then(|ts| ts.next_sample) {
             Some(d) if d < t => d,
             _ => return,
         };
-        let multiplier = if self.fsm.is_asleep() { None } else { Some(self.fsm.multiplier()) };
         let power_uw = self.power_model.instantaneous_power(multiplier).as_microwatts();
         let events_total = self.events.len() as u64;
         let fifo_depth = self.fifo.len() as u64;
@@ -663,8 +745,8 @@ impl<'a> Runner<'a> {
         ts.next_sample = Some(due);
     }
 
-    fn schedule_reconfigs(&mut self, writes: &[(SimTime, crate::config_bus::Register, u32)]) {
-        self.reconfigs = writes.to_vec();
+    fn schedule_reconfigs(&mut self, writes: &'a [(SimTime, crate::config_bus::Register, u32)]) {
+        self.reconfigs = writes;
         for (i, &(t, _, _)) in writes.iter().enumerate() {
             self.queue.schedule_at(t, Ev::SpiWrite(i)).expect("fresh queue, sorted writes");
         }
@@ -759,9 +841,89 @@ impl<'a> Runner<'a> {
         self.queue.schedule_at(t + self.base, Ev::Tick).expect("tick after wake is future");
     }
 
+    /// `true` when the tick popped at `t` begins a provably quiet
+    /// stretch: nothing is in flight on the sensor side (no request
+    /// crossing the synchroniser, no latched address, no ACK recovery,
+    /// no wake in progress) and no scheduled fault is due — so every
+    /// tick until the next queue event is a pure `on_tick(false)` whose
+    /// trajectory [`SamplerFsm::advance_idle`] computes in closed form.
+    fn idle_at(&self, t: SimTime) -> bool {
+        self.current_request.is_none()
+            && self.monitor.sampled_address().is_none()
+            && self.pending_ack.is_none()
+            && self.wake_frozen.is_none()
+            && self.injector.next_scheduled_at().is_none_or(|due| due > t)
+    }
+
+    /// Jumps the quiet tick chain from the popped tick at `t` to the
+    /// next interesting instant, replaying the side effects of the
+    /// skipped ticks segment-wise.
+    ///
+    /// The barrier is the earliest of: the next queue event (while
+    /// input remains, the pending `ReqRise` bounds it), the next
+    /// scheduled fault, and — once the input is exhausted — the
+    /// horizon, so the final at-or-past-horizon tick still pops and is
+    /// processed by the normal path exactly as per-tick stepping would.
+    /// During `(t, barrier)` the per-tick engine could pop nothing but
+    /// this chain's own ticks, and quiet ticks schedule nothing but
+    /// their successor (a shutdown with no latched request schedules no
+    /// wake), so batching them cannot reorder anything: the resumed
+    /// tick is scheduled now, which gives it a later sequence number
+    /// than everything already queued — the same tie-break per-tick
+    /// stepping produces at a shared instant.
+    fn fast_forward(&mut self, t: SimTime) {
+        let mut barrier = self.queue.peek_time().unwrap_or(SimTime::MAX);
+        if let Some(due) = self.injector.next_scheduled_at() {
+            barrier = barrier.min(due);
+        }
+        if self.sender.is_done() {
+            barrier = barrier.min(self.horizon);
+        }
+        let mut segments = std::mem::take(&mut self.idle_segments);
+        let next_tick = self.fsm.advance_idle_into(t, barrier, &mut segments);
+        for seg in &segments {
+            match seg.boundary {
+                IdleBoundary::None => {
+                    // Samples due past the last tick are emitted by the
+                    // next event's `sample_until` — the FSM already
+                    // carries this segment's multiplier.
+                }
+                IdleBoundary::Divided { multiplier } => {
+                    self.emit_samples(seg.last_tick, Some(seg.multiplier));
+                    self.meter.clock_multiplier(seg.last_tick, multiplier);
+                    if let Some(ts) = self.tel.as_deref_mut() {
+                        ts.tel.metrics.inc(ts.divisions, 1);
+                        ts.clock_transition(seg.last_tick, "divided", Some(multiplier));
+                    }
+                }
+                IdleBoundary::ShutDown => {
+                    self.emit_samples(seg.last_tick, Some(seg.multiplier));
+                    self.meter.clock_off(seg.last_tick);
+                    if let Some(ts) = self.tel.as_deref_mut() {
+                        ts.tel.metrics.inc(ts.shutdowns, 1);
+                        ts.clock_transition(seg.last_tick, "sleep", None);
+                    }
+                    // Per-tick stepping would have popped this shutdown
+                    // tick, leaving the clock there; the end-of-run
+                    // bookkeeping (FIFO drain start, power horizon)
+                    // reads it.
+                    self.queue.advance_to(seg.last_tick);
+                }
+            }
+        }
+        self.idle_segments = segments;
+        if let Some(next) = next_tick {
+            self.queue.schedule_at(next, Ev::Tick).expect("resumed tick is not in the past");
+        }
+    }
+
     fn on_tick(&mut self, t: SimTime) {
         if self.fsm.is_asleep() {
             // Stale tick scheduled before a shutdown raced in; ignore.
+            return;
+        }
+        if self.engine == SimEngine::EventProportional && self.idle_at(t) {
+            self.fast_forward(t);
             return;
         }
         if let Some(kind) = self.injector.due_scheduled(t) {
@@ -1236,6 +1398,119 @@ mod tests {
         let writes = [(SimTime::from_ms(1), Register::ThetaDiv, 1u32)]; // invalid value
         let reconfigured = interface.run_with_reconfig(&train, SimTime::from_ms(2), &writes);
         assert_eq!(plain.events, reconfigured.events);
+    }
+
+    /// Runs `train` through both engines — fault plan and live sampler
+    /// armed — and asserts the reports are bit-identical (the
+    /// wall-clock profile, excluded from `TelemetrySnapshot` equality,
+    /// is the only thing allowed to differ). Returns both profiles'
+    /// queue-op counts `(fast_forward, per_tick)`.
+    fn engines_agree(
+        cfg: InterfaceConfig,
+        train: &SpikeTrain,
+        horizon: SimTime,
+        plan: &aetr_faults::FaultPlan,
+    ) -> (u64, u64) {
+        let tel = TelemetryConfig { enabled: true, sample_cadence: Some(SimDuration::from_us(50)) };
+        let fast = AerToI2sInterface::new(cfg)
+            .unwrap()
+            .with_engine(SimEngine::EventProportional)
+            .run_with_telemetry(train, horizon, plan, &tel);
+        let reference = AerToI2sInterface::new(cfg)
+            .unwrap()
+            .with_engine(SimEngine::PerTickReference)
+            .run_with_telemetry(train, horizon, plan, &tel);
+        assert_eq!(fast, reference);
+        let ops = |r: &InterfaceReport| r.telemetry.profile.as_ref().map_or(0, |p| p.queue_ops);
+        (ops(&fast), ops(&reference))
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_and_event_proportional_on_sparse_input() {
+        let train =
+            RegularGenerator::new(SimDuration::from_ms(10), 4).generate(SimTime::from_ms(95));
+        let (fast_ops, ref_ops) = engines_agree(
+            InterfaceConfig::prototype(),
+            &train,
+            SimTime::from_ms(100),
+            &aetr_faults::FaultPlan::nominal(0),
+        );
+        assert!(
+            fast_ops * 10 < ref_ops,
+            "idle-heavy run should need >10x fewer queue ops: {fast_ops} vs {ref_ops}"
+        );
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_on_dense_input() {
+        let train = PoissonGenerator::new(400_000.0, 64, 5).generate(SimTime::from_ms(5));
+        engines_agree(
+            InterfaceConfig::prototype(),
+            &train,
+            SimTime::from_ms(5),
+            &aetr_faults::FaultPlan::nominal(0),
+        );
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_under_never_stopping_policies() {
+        for policy in [DivisionPolicy::Never, DivisionPolicy::DivideOnly, DivisionPolicy::Linear] {
+            let cfg = InterfaceConfig {
+                clock: ClockGenConfig::prototype().with_policy(policy),
+                ..InterfaceConfig::prototype()
+            };
+            let train = PoissonGenerator::new(5_000.0, 16, 11).generate(SimTime::from_ms(4));
+            engines_agree(cfg, &train, SimTime::from_ms(4), &aetr_faults::FaultPlan::nominal(0));
+        }
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_with_scheduled_and_stochastic_faults() {
+        // A stuck-oscillator fault lands mid-idle (the fast-forward
+        // barrier must stop there), and protocol-rate faults perturb
+        // the surrounding handshakes identically in both engines.
+        let plan = aetr_faults::FaultPlan::nominal(42)
+            .with_rates(aetr_faults::FaultRates::protocol(0.05))
+            .schedule(SimTime::from_ms(3), FaultKind::StuckOscillator);
+        let train = RegularGenerator::new(SimDuration::from_ms(1), 8).generate(SimTime::from_ms(9));
+        engines_agree(InterfaceConfig::prototype(), &train, SimTime::from_ms(10), &plan);
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_on_empty_and_reconfigured_runs() {
+        engines_agree(
+            InterfaceConfig::prototype(),
+            &SpikeTrain::new(),
+            SimTime::from_ms(50),
+            &aetr_faults::FaultPlan::nominal(0),
+        );
+        // Mid-idle SPI write: the tick chain must resume with the new
+        // division parameters at exactly the per-tick instant.
+        use crate::config_bus::Register;
+        let gap = SimDuration::from_us(300);
+        let train: SpikeTrain = (1..=10u64)
+            .map(|i| {
+                aetr_aer::spike::Spike::new(
+                    SimTime::ZERO + gap * i,
+                    aetr_aer::address::Address::new(2).unwrap(),
+                )
+            })
+            .collect();
+        let writes = [(SimTime::from_ms(1) + SimDuration::from_us(37), Register::NDiv, 6u32)];
+        let iface = |engine| {
+            AerToI2sInterface::new(InterfaceConfig::prototype()).unwrap().with_engine(engine)
+        };
+        let fast = iface(SimEngine::EventProportional).run_with_reconfig(
+            &train,
+            SimTime::from_ms(4),
+            &writes,
+        );
+        let reference = iface(SimEngine::PerTickReference).run_with_reconfig(
+            &train,
+            SimTime::from_ms(4),
+            &writes,
+        );
+        assert_eq!(fast, reference);
     }
 
     #[test]

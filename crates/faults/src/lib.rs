@@ -340,6 +340,13 @@ impl FaultInjector {
         }
     }
 
+    /// Activation time of the next scheduled fault that has not fired
+    /// yet, if any — lets the fast-forward path bound an idle jump so
+    /// no scheduled fault is skipped over.
+    pub fn next_scheduled_at(&self) -> Option<SimTime> {
+        self.scheduled.get(self.next_scheduled).map(|f| f.at)
+    }
+
     /// Pops the next scheduled fault due at or before `now`, if any.
     pub fn due_scheduled(&mut self, now: SimTime) -> Option<FaultKind> {
         let fault = self.scheduled.get(self.next_scheduled)?;

@@ -338,6 +338,50 @@ impl<E> EventQueue<E> {
         self.heap.iter().filter(|Reverse(e)| self.entry_is_live(e)).map(|Reverse(e)| e.time).min()
     }
 
+    /// The next live event — exactly what [`pop`](EventQueue::pop)
+    /// would return — without popping it, advancing the clock, or
+    /// counting an op.
+    ///
+    /// Tombstone-skip semantics match `pop`: cancelled entries are
+    /// ignored (though, being non-consuming, this leaves them in the
+    /// heap), and ties at one instant resolve in schedule order.
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        let payload = |e: &HeapEntry| {
+            let ev =
+                self.slots[e.slot as usize].event.as_ref().expect("live slot missing its payload");
+            (e.time, ev)
+        };
+        let Reverse(top) = self.heap.peek()?;
+        if self.entry_is_live(top) {
+            return Some(payload(top));
+        }
+        self.heap
+            .iter()
+            .map(|Reverse(e)| e)
+            .filter(|e| self.entry_is_live(e))
+            .min_by(|a, b| a.cmp(b))
+            .map(payload)
+    }
+
+    /// Advances the clock to `t` without popping anything.
+    ///
+    /// This is the fast-forward path's analogue of popping a
+    /// self-rescheduling event at `t` and discarding it: batch-advance
+    /// consumers (the interface's analytic idle fast-forward) replace a
+    /// run of tick events with a closed-form jump, but downstream
+    /// bookkeeping still reads [`now`](EventQueue::now) as "the instant
+    /// the simulation last acted at".
+    ///
+    /// Does not count as an op — skipped work is the whole point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past: the clock is monotone.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "cannot advance the clock backwards from {} to {}", self.now, t);
+        self.now = t;
+    }
+
     /// Drops every pending event; the clock is left where it is.
     ///
     /// Occupied slots are tombstoned (generation bumped) rather than
@@ -531,6 +575,67 @@ mod tests {
         }
         assert_eq!(popped, 16);
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn peek_returns_what_pop_would() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ns(9), "late").unwrap();
+        q.schedule_at(SimTime::from_ns(2), "early").unwrap();
+        assert_eq!(q.peek(), Some((SimTime::from_ns(2), &"early")));
+        assert_eq!(q.now(), SimTime::ZERO, "peek does not advance the clock");
+        assert_eq!(q.ops(), 2, "peek is not an op");
+        assert_eq!(q.pop(), Some((SimTime::from_ns(2), "early")));
+        assert_eq!(q.peek(), Some((SimTime::from_ns(9), &"late")));
+        q.pop();
+        assert_eq!(q.peek(), None);
+    }
+
+    #[test]
+    fn peek_resolves_ties_in_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(4);
+        q.schedule_at(t, "first").unwrap();
+        q.schedule_at(t, "second").unwrap();
+        assert_eq!(q.peek(), Some((t, &"first")));
+        q.pop();
+        assert_eq!(q.peek(), Some((t, &"second")));
+    }
+
+    #[test]
+    fn peek_skips_tombstones_like_pop() {
+        let mut q = EventQueue::new();
+        let early = q.schedule_at(SimTime::from_ns(1), "dead").unwrap();
+        let mid = q.schedule_at(SimTime::from_ns(5), "also dead").unwrap();
+        q.schedule_at(SimTime::from_ns(9), "live").unwrap();
+        q.cancel(early);
+        q.cancel(mid);
+        assert_eq!(q.peek(), Some((SimTime::from_ns(9), &"live")));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(9), "live")));
+        assert_eq!(q.peek(), None);
+    }
+
+    #[test]
+    fn advance_to_moves_the_clock_without_popping() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_ns(50), "ev").unwrap();
+        let ops = q.ops();
+        q.advance_to(SimTime::from_ns(30));
+        assert_eq!(q.now(), SimTime::from_ns(30));
+        assert_eq!(q.len(), 1, "nothing popped");
+        assert_eq!(q.ops(), ops, "advance is not an op");
+        q.advance_to(SimTime::from_ns(30)); // idempotent at the same instant
+        assert_eq!(q.pop(), Some((SimTime::from_ns(50), "ev")));
+        // The clock really moved: the past is now rejected.
+        assert!(q.schedule_at(SimTime::from_ns(40), "late").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "advance the clock backwards")]
+    fn advance_to_rejects_the_past() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime::from_ns(10));
+        q.advance_to(SimTime::from_ns(9));
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Differential pinning of the analytic idle fast-forward: for
+//! arbitrary clock configurations (including never-stopping policies),
+//! fault plans (scheduled mid-idle oscillator stalls plus stochastic
+//! protocol faults) and spike trains, the event-proportional engine's
+//! [`InterfaceReport`] is **bit-identical** to the per-tick reference —
+//! events, timestamps, handshakes, FIFO statistics, I2S stream,
+//! activity residency, power, wakes, health counters, and the full
+//! telemetry snapshot (metrics, clock-state spans, live samples; only
+//! the wall-clock profile, excluded from snapshot equality, may
+//! differ).
+//!
+//! The case count defaults to a CI-friendly 48 and is raised on the
+//! nightly schedule via `AETR_PROPTEST_CASES` (see
+//! `.github/workflows/ci.yml`).
+
+use proptest::prelude::*;
+
+use aetr::config_bus::Register;
+use aetr::interface::{AerToI2sInterface, InterfaceConfig, SimEngine, TelemetryConfig};
+use aetr_aer::address::Address;
+use aetr_aer::spike::{Spike, SpikeTrain};
+use aetr_clockgen::config::{ClockGenConfig, DivisionPolicy};
+use aetr_faults::{FaultKind, FaultPlan, FaultRates};
+use aetr_sim::time::{SimDuration, SimTime};
+
+fn cases() -> u32 {
+    std::env::var("AETR_PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(48)
+}
+
+fn arbitrary_train() -> impl Strategy<Value = SpikeTrain> {
+    // Up to 40 events with gaps from sub-tick to multi-millisecond, so
+    // runs cross sampling, division, shutdown, wake and — with sparse
+    // tails — long fast-forwardable silences.
+    proptest::collection::vec((1u64..2_000_000_000, 0u16..1024), 0..40).prop_map(|gaps| {
+        let mut t = SimTime::ZERO;
+        let spikes = gaps
+            .into_iter()
+            .map(|(gap_ps, addr)| {
+                t += SimDuration::from_ps(gap_ps);
+                Spike::new(t, Address::new(addr).expect("range-bounded"))
+            })
+            .collect();
+        SpikeTrain::from_sorted(spikes).expect("cumulative times are sorted")
+    })
+}
+
+/// All four policies — `Never` and the `DivideOnly` plateau never shut
+/// the clock down, so their tick chains are unbounded and the
+/// fast-forward barrier logic carries the whole horizon.
+fn any_policy() -> impl Strategy<Value = DivisionPolicy> {
+    prop_oneof![
+        Just(DivisionPolicy::Recursive),
+        Just(DivisionPolicy::DivideOnly),
+        Just(DivisionPolicy::Never),
+        Just(DivisionPolicy::Linear),
+    ]
+}
+
+fn interface(cfg: InterfaceConfig, engine: SimEngine) -> AerToI2sInterface {
+    AerToI2sInterface::new(cfg).expect("validated configuration").with_engine(engine)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    #[test]
+    fn reports_are_bit_identical_across_engines(
+        train in arbitrary_train(),
+        theta in 2u32..64,
+        n_div in 0u32..7,
+        policy in any_policy(),
+        seed in 0u64..1024,
+        fault_at_us in 1u64..5_000,
+        rate_idx in 0usize..3,
+    ) {
+        let cfg = InterfaceConfig {
+            clock: ClockGenConfig::prototype()
+                .with_theta_div(theta)
+                .with_n_div(n_div)
+                .with_policy(policy),
+            ..InterfaceConfig::prototype()
+        };
+        // A mid-idle oscillator stall plus (sometimes) stochastic
+        // protocol faults: the injector's RNG draws happen on real
+        // events only, so both engines must consume identical streams.
+        let plan = FaultPlan::nominal(seed)
+            .with_rates(FaultRates::protocol([0.0, 0.01, 0.05][rate_idx]))
+            .schedule(SimTime::from_us(fault_at_us), FaultKind::StuckOscillator);
+        let tel = TelemetryConfig {
+            enabled: true,
+            sample_cadence: Some(SimDuration::from_us(100)),
+        };
+        let horizon = SimTime::from_ms(6);
+        let fast = interface(cfg, SimEngine::EventProportional)
+            .run_with_telemetry(&train, horizon, &plan, &tel);
+        let reference = interface(cfg, SimEngine::PerTickReference)
+            .run_with_telemetry(&train, horizon, &plan, &tel);
+        prop_assert_eq!(fast, reference);
+    }
+
+    /// Mid-idle SPI writes retarget θ_div/N_div while the fast-forward
+    /// path is mid-silence; the resumed tick chain must pick up the new
+    /// parameters at exactly the per-tick instant.
+    #[test]
+    fn reconfigured_runs_are_bit_identical_across_engines(
+        train in arbitrary_train(),
+        policy in any_policy(),
+        write_at_us in 1u64..4_000,
+        new_n_div in 0u32..12,
+        new_theta in 2u32..200,
+    ) {
+        let cfg = InterfaceConfig {
+            clock: ClockGenConfig::prototype().with_policy(policy),
+            ..InterfaceConfig::prototype()
+        };
+        let at = SimTime::from_us(write_at_us);
+        let writes = [
+            (at, Register::NDiv, new_n_div),
+            (at + SimDuration::from_us(700), Register::ThetaDiv, new_theta),
+        ];
+        let horizon = SimTime::from_ms(5);
+        let fast = interface(cfg, SimEngine::EventProportional)
+            .run_with_reconfig(&train, horizon, &writes);
+        let reference = interface(cfg, SimEngine::PerTickReference)
+            .run_with_reconfig(&train, horizon, &writes);
+        prop_assert_eq!(fast, reference);
+    }
+}
