@@ -81,6 +81,13 @@ impl Transaction {
         self.req_rise.saturating_duration_since(self.event_time)
     }
 
+    /// `REQ`-rise → `ACK`-rise latency: how long the sensor held `REQ`
+    /// before the interface answered (sync + sampling-grid wait, plus
+    /// any wake). The lineage layer reports this per event.
+    pub fn ack_latency(&self) -> SimDuration {
+        self.ack_rise.saturating_duration_since(self.req_rise)
+    }
+
     /// Checks the 4-phase ordering invariant.
     pub fn is_well_formed(&self) -> bool {
         self.req_rise <= self.ack_rise
@@ -441,6 +448,7 @@ mod tests {
         assert_eq!(t.req_fall, SimTime::from_ns(130)); // +10ns req_fall_delay
         assert_eq!(t.ack_fall, SimTime::from_ns(150));
         assert_eq!(t.duration(), SimDuration::from_ns(50));
+        assert_eq!(t.ack_latency(), SimDuration::from_ns(20));
         log.verify_protocol().unwrap();
         log.verify_caviar().unwrap();
     }

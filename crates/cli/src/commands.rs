@@ -44,8 +44,21 @@ USAGE:
                     [--generator poisson|burst] [--cadence-us N]
                     [--format json|prometheus|chrome-trace] [--out file]
                     (instrumented DES run: metrics, spans, time series)
-  aetr-cli validate <file.json> --schema <schema.json>
-                    (offline JSON-schema check, e.g. telemetry output)
+  aetr-cli lineage  [--rate <evt/s>] [--duration-ms N] [--seed N]
+                    [--generator poisson|burst] [--cadence-us N]
+                    [--engine fast-forward|per-tick]
+                    [--format jsonl|chrome-trace] [--out file]
+                    (per-event causal records; with --out, prints the
+                    error-budget attribution footer)
+  aetr-cli explain  <event-index> [--rate <evt/s>] [--duration-ms N]
+                    [--seed N] [--generator poisson|burst]
+                    [--cadence-us N] [--engine fast-forward|per-tick]
+                    (re-runs deterministically and narrates one event's
+                    journey: arrival, grid wait, wake, FIFO, I2S, and
+                    its exact timestamp-error decomposition)
+  aetr-cli validate <file.json> --schema <schema.json> [--jsonl true]
+                    (offline JSON-schema check, e.g. telemetry output;
+                    --jsonl true checks every line, e.g. lineage output)
   aetr-cli waveform [--theta N] [--ndiv N] [--out file.vcd]
   aetr-cli resources
 
@@ -72,6 +85,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
         Some("sweep") => cmd_sweep(args),
         Some("faults") => cmd_faults(args),
         Some("telemetry") => cmd_telemetry(args),
+        Some("lineage") => cmd_lineage(args),
+        Some("explain") => cmd_explain(args),
         Some("validate") => cmd_validate(args),
         Some("waveform") => cmd_waveform(args),
         Some("resources") => Ok(UtilizationReport::prototype().to_string()),
@@ -380,10 +395,23 @@ fn cmd_faults(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
     Ok(text)
 }
 
-fn cmd_telemetry(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
-    use aetr::interface::{AerToI2sInterface, InterfaceConfig, TelemetryConfig};
+/// Shared workload for the instrumented commands (`telemetry`,
+/// `lineage`, `explain`): one parameter surface, so an `explain`
+/// re-run reproduces exactly the run a `lineage` export came from.
+struct InstrumentedRun {
+    config: aetr::interface::InterfaceConfig,
+    train: SpikeTrain,
+    horizon: SimTime,
+    rate: f64,
+    duration_ms: u64,
+    seed: u64,
+    cadence_us: u64,
+    generator: String,
+}
+
+fn instrumented_run(args: &ParsedArgs) -> Result<InstrumentedRun, Box<dyn Error>> {
+    use aetr::interface::InterfaceConfig;
     use aetr_aer::generator::BurstGenerator;
-    use aetr_faults::FaultPlan;
 
     let rate: f64 = args.get_or("rate", 50_000.0, "number")?;
     let duration_ms: u64 = args.get_or("duration-ms", 10, "integer")?;
@@ -394,8 +422,8 @@ fn cmd_telemetry(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
     }
     let config = InterfaceConfig { clock: clock_config(args)?, ..InterfaceConfig::prototype() };
     let horizon = SimTime::from_ms(duration_ms);
-    let generator = args.get_str("generator").unwrap_or("poisson");
-    let train = match generator {
+    let generator = args.get_str("generator").unwrap_or("poisson").to_owned();
+    let train = match generator.as_str() {
         "poisson" => PoissonGenerator::new(rate, 64, seed).generate(horizon),
         "burst" => BurstGenerator::new(
             rate,
@@ -414,18 +442,31 @@ fn cmd_telemetry(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
             }))
         }
     };
-    let interface = AerToI2sInterface::new(config)?;
+    Ok(InstrumentedRun { config, train, horizon, rate, duration_ms, seed, cadence_us, generator })
+}
+
+fn cmd_telemetry(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    use aetr::interface::{AerToI2sInterface, TelemetryConfig};
+    use aetr_faults::FaultPlan;
+
+    let w = instrumented_run(args)?;
+    let interface = AerToI2sInterface::new(w.config)?;
     let report = interface.run_with_telemetry(
-        &train,
-        horizon,
-        &FaultPlan::nominal(seed),
-        &TelemetryConfig::with_cadence(SimDuration::from_us(cadence_us)),
+        &w.train,
+        w.horizon,
+        &FaultPlan::nominal(w.seed),
+        &TelemetryConfig::with_cadence(SimDuration::from_us(w.cadence_us)),
     );
     let format = args.get_str("format").unwrap_or("json");
     let text = match format {
         "json" => report.telemetry.to_json().to_string(),
         "prometheus" => report.telemetry.to_prometheus(),
-        "chrome-trace" => report.telemetry.to_chrome_trace(),
+        "chrome-trace" => report.telemetry.to_chrome_trace_named(&format!(
+            "aetr telemetry seed={} rate={} gen={}",
+            w.seed,
+            fmt_sig(w.rate),
+            w.generator
+        )),
         other => {
             return Err(Box::new(ArgsError::InvalidValue {
                 flag: "format".into(),
@@ -439,7 +480,7 @@ fn cmd_telemetry(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
         Some(out) => {
             fs::write(out, &text)?;
             let mut summary = format!("wrote {} bytes ({format}) -> {out}\n", text.len());
-            let _ = writeln!(summary, "clock residency over {duration_ms} ms:");
+            let _ = writeln!(summary, "clock residency over {} ms:", w.duration_ms);
             for (state, d) in report.telemetry.clock_residency() {
                 let _ = writeln!(summary, "  {state:<9} {d}");
             }
@@ -448,15 +489,260 @@ fn cmd_telemetry(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
     }
 }
 
+/// Runs the instrumented workload with lineage collection on, for
+/// `lineage` and `explain`.
+fn lineage_report(
+    args: &ParsedArgs,
+    w: &InstrumentedRun,
+) -> Result<aetr::interface::InterfaceReport, Box<dyn Error>> {
+    use aetr::interface::{AerToI2sInterface, TelemetryConfig};
+    use aetr_faults::FaultPlan;
+
+    let interface = AerToI2sInterface::new(w.config)?.with_engine(engine_arg(args)?);
+    let tel = TelemetryConfig::with_cadence(SimDuration::from_us(w.cadence_us)).with_lineage();
+    Ok(interface.run_with_telemetry(&w.train, w.horizon, &FaultPlan::nominal(w.seed), &tel))
+}
+
+fn cmd_lineage(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    use aetr_telemetry::lineage::ErrorBudget;
+
+    let w = instrumented_run(args)?;
+    let report = lineage_report(args, &w)?;
+    let log = &report.telemetry.lineage;
+    let format = args.get_str("format").unwrap_or("jsonl");
+    let text = match format {
+        "jsonl" => log.to_jsonl(),
+        "chrome-trace" => report.telemetry.to_chrome_trace_named(&format!(
+            "aetr lineage seed={} rate={} gen={}",
+            w.seed,
+            fmt_sig(w.rate),
+            w.generator
+        )),
+        other => {
+            return Err(Box::new(ArgsError::InvalidValue {
+                flag: "format".into(),
+                value: other.into(),
+                expected: "format (jsonl|chrome-trace)",
+            }))
+        }
+    };
+    match args.get_str("out") {
+        None => Ok(text),
+        Some(out) => {
+            fs::write(out, &text)?;
+            let mut summary = format!(
+                "wrote {} lineage records ({format}, {} bytes) -> {out}\n",
+                log.len(),
+                text.len()
+            );
+            let t_min = w.config.clock.base_sampling_period();
+            let budget = ErrorBudget::from_records(log.records(), t_min);
+            summary.push_str(&budget.summary());
+            let violations = budget.bound_violations(w.config.front_end.sync_stages);
+            if violations.is_empty() {
+                let _ = writeln!(
+                    summary,
+                    "all clean events within the analytic alignment budget \
+                     ((sync+2)x(m_i+m_i-1) ticks)"
+                );
+            } else {
+                let _ = writeln!(
+                    summary,
+                    "WARNING: {} clean event(s) exceed the analytic alignment budget: {:?}",
+                    violations.len(),
+                    violations
+                );
+            }
+            Ok(summary)
+        }
+    }
+}
+
+fn cmd_explain(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
+    use aetr_telemetry::lineage::{decompose, DropCause};
+
+    let index: u32 = args
+        .positional
+        .first()
+        .ok_or("explain needs an <event-index> argument")?
+        .parse()
+        .map_err(|e| format!("event index: {e}"))?;
+    let w = instrumented_run(args)?;
+    let report = lineage_report(args, &w)?;
+    let log = &report.telemetry.lineage;
+    let Some(r) = log.get(index) else {
+        return Err(format!(
+            "event {index} out of range: this run captured {} events (0..={})",
+            log.len(),
+            log.len().saturating_sub(1)
+        )
+        .into());
+    };
+    let prev = index.checked_sub(1).and_then(|p| log.get(p));
+    let t_min = w.config.clock.base_sampling_period();
+    let row = decompose(r, prev, t_min.as_ps());
+
+    let us = |ps: u64| ps as f64 / 1e6;
+    let ns = |ps: i128| ps as f64 / 1e3;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "event {index} of {} (address {}) — {}",
+        log.len(),
+        r.address,
+        r.drop_cause.label()
+    );
+    let _ = writeln!(text, "  arrival   {:.6} us: sensor REQ rise", us(r.arrival.as_ps()));
+    let _ = writeln!(
+        text,
+        "  detection {:.6} us: captured {:.3} us after arrival (synchroniser + grid \
+         wait) at division level {} (period {} = {} x T_min {})",
+        us(r.detection.as_ps()),
+        us(r.detection.as_ps() - r.arrival.as_ps()),
+        r.division_level,
+        r.sampling_period,
+        r.multiplier,
+        t_min,
+    );
+    if r.woke {
+        let _ = writeln!(
+            text,
+            "  wake      REQ restarted the ring oscillator from sleep; wake penalty {}",
+            r.wake_penalty
+        );
+    } else {
+        let _ = writeln!(text, "  wake      oscillator already running (no wake penalty)");
+    }
+    let _ = writeln!(
+        text,
+        "  timestamp {} ticks x T_min = {:.3} us measured interval \
+         (quantization error {:+.3} ticks){}",
+        r.timestamp_ticks,
+        ns(row.measured_ps) / 1e3,
+        r.quantization_error_ticks,
+        if r.saturated { " — SATURATED: frozen/clamped counter, marker not measure" } else { "" },
+    );
+    match (r.ack_rise(), r.ack_latency()) {
+        (Some(ack), Some(lat)) => {
+            let _ = writeln!(
+                text,
+                "  handshake ACK rose at {:.6} us (latency {}, {} watchdog re-drive(s))",
+                us(ack.as_ps()),
+                lat,
+                r.ack_retries
+            );
+        }
+        _ => {
+            let _ = writeln!(
+                text,
+                "  handshake aborted: ACK never completed ({} watchdog re-drive(s))",
+                r.ack_retries
+            );
+        }
+    }
+    match (r.fifo_enqueue(), r.fifo_dequeue()) {
+        (Some(enq), Some(deq)) => {
+            let _ = writeln!(
+                text,
+                "  fifo      enqueued {:.6} us, left {:.6} us (residency {})",
+                us(enq.as_ps()),
+                us(deq.as_ps()),
+                r.fifo_residency().unwrap_or_default()
+            );
+        }
+        (Some(enq), None) => {
+            let _ = writeln!(
+                text,
+                "  fifo      enqueued {:.6} us, still buffered at the horizon",
+                us(enq.as_ps())
+            );
+        }
+        _ => {
+            let _ =
+                writeln!(text, "  fifo      never stored (drop cause: {})", r.drop_cause.label());
+        }
+    }
+    match (r.i2s_start(), r.i2s_end()) {
+        (Some(start), Some(end)) => {
+            let _ = writeln!(
+                text,
+                "  i2s       frame on the wire {:.6}-{:.6} us{}",
+                us(start.as_ps()),
+                us(end.as_ps()),
+                match r.end_to_end_latency() {
+                    Some(lat) => format!("; end-to-end latency {lat}"),
+                    None => String::new(),
+                }
+            );
+            if r.drop_cause == DropCause::FrameSlip {
+                let _ = writeln!(
+                    text,
+                    "            but the receiver slipped this frame — the event was lost"
+                );
+            }
+        }
+        _ => {
+            let _ = writeln!(text, "  i2s       never transmitted");
+        }
+    }
+    let _ = writeln!(
+        text,
+        "  error     measured - true = {:+.3} ns, exactly attributed:",
+        ns(row.error_ps)
+    );
+    let _ = writeln!(
+        text,
+        "            grid {:+.3} ns, wake {:+.3} ns, origin {:+.3} ns, saturation {:+.3} ns",
+        ns(row.causes.grid_ps),
+        ns(row.causes.wake_ps),
+        ns(row.causes.origin_ps),
+        ns(row.causes.saturation_ps),
+    );
+    Ok(text)
+}
+
 fn cmd_validate(args: &ParsedArgs) -> Result<String, Box<dyn Error>> {
     use aetr_telemetry::json;
 
     let path = args.positional.first().ok_or("validate needs a .json file argument")?;
     let schema_path =
         args.get_str("schema").ok_or("validate needs --schema <schema.json>")?.to_owned();
-    let doc = json::parse(&fs::read_to_string(path)?).map_err(|e| format!("{path}: {e}"))?;
+    let jsonl: bool = args.get_or("jsonl", false, "boolean")?;
+    let text = fs::read_to_string(path)?;
     let schema = json::parse(&fs::read_to_string(&schema_path)?)
         .map_err(|e| format!("{schema_path}: {e}"))?;
+    // Line-delimited mode (`--jsonl true`): the schema describes one
+    // record; every non-empty line must parse and validate, and the
+    // violation report carries 1-based line numbers.
+    if jsonl {
+        let mut violations = Vec::new();
+        let mut lines = 0usize;
+        for (n, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            lines += 1;
+            match json::parse(line) {
+                Err(e) => violations.push(format!("line {}: {e}", n + 1)),
+                Ok(doc) => violations.extend(
+                    json::validate(&doc, &schema)
+                        .into_iter()
+                        .map(|v| format!("line {}: {v}", n + 1)),
+                ),
+            }
+        }
+        return if violations.is_empty() {
+            Ok(format!("{path}: {lines} JSONL record(s) valid against {schema_path}"))
+        } else {
+            Err(format!(
+                "{path}: {} schema violation(s):\n  {}",
+                violations.len(),
+                violations.join("\n  ")
+            )
+            .into())
+        };
+    }
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     let violations = json::validate(&doc, &schema);
     if violations.is_empty() {
         Ok(format!("{path}: valid against {schema_path}"))
@@ -545,9 +831,9 @@ mod tests {
         .unwrap();
         assert!(text.contains("baseline: accuracy"), "{text}");
         assert!(text.contains("fault rate"), "{text}");
-        // baseline + header + rule + 3 rows + metrics header + 17
+        // baseline + header + rule + 3 rows + metrics header + 19
         // `interface.health.*` lines (shared with `telemetry` runs).
-        assert_eq!(text.lines().count(), 24, "{text}");
+        assert_eq!(text.lines().count(), 26, "{text}");
         assert!(text.contains("interface.health.lost_acks"), "{text}");
         // Deterministic: running the identical line again reproduces it.
         let again = run_line(&[
@@ -679,6 +965,101 @@ mod tests {
         fs::write(&out, "{\"version\": \"nope\"}").unwrap();
         let err = run_line(&["validate", &p, "--schema", &schema_path()]).unwrap_err();
         assert!(err.to_string().contains("schema violation"), "{err}");
+        let _ = fs::remove_file(out);
+    }
+
+    fn lineage_schema_path() -> String {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../schemas/lineage.schema.json").to_owned()
+    }
+
+    #[test]
+    fn lineage_jsonl_validates_per_line_and_explain_narrates() {
+        let out = std::env::temp_dir().join("aetr_cli_lineage.jsonl");
+        let p = out.to_str().unwrap().to_owned();
+        let line = ["lineage", "--rate", "50000", "--duration-ms", "5", "--out", &p];
+        let summary = run_line(&line).unwrap();
+        assert!(summary.contains("lineage records"), "{summary}");
+        assert!(summary.contains("error budget over"), "{summary}");
+        assert!(summary.contains("by cause: grid"), "{summary}");
+        assert!(
+            summary.contains("within the analytic alignment budget"),
+            "fault-free run must satisfy the bound: {summary}"
+        );
+        let text =
+            run_line(&["validate", &p, "--schema", &lineage_schema_path(), "--jsonl", "true"])
+                .unwrap();
+        assert!(text.contains("valid against"), "{text}");
+
+        // Without --out, the raw JSONL streams to stdout; every line is
+        // an object and the count matches the captured events.
+        let raw = run_line(&["lineage", "--rate", "50000", "--duration-ms", "5"]).unwrap();
+        let n = raw.lines().count();
+        assert!(n > 10, "expected a few hundred events, got {n}");
+        assert!(raw.lines().all(|l| l.starts_with('{')), "JSONL objects only");
+
+        // explain re-runs the same workload deterministically and
+        // narrates one event end to end.
+        let story = run_line(&["explain", "7", "--rate", "50000", "--duration-ms", "5"]).unwrap();
+        assert!(story.starts_with("event 7 of"), "{story}");
+        assert!(story.contains("arrival"), "{story}");
+        assert!(story.contains("division level"), "{story}");
+        assert!(story.contains("exactly attributed"), "{story}");
+        let _ = fs::remove_file(out);
+    }
+
+    #[test]
+    fn lineage_chrome_trace_joins_flows_to_spans() {
+        use aetr_telemetry::json::Json;
+        let trace = run_line(&[
+            "lineage",
+            "--rate",
+            "20000",
+            "--duration-ms",
+            "5",
+            "--format",
+            "chrome-trace",
+        ])
+        .unwrap();
+        let doc = aetr_telemetry::json::parse(&trace).expect("trace parses");
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        let ph = |e: &Json| e.get("ph").and_then(Json::as_str).map(str::to_owned);
+        assert!(events.iter().any(|e| ph(e).as_deref() == Some("s")), "flow starts present");
+        assert!(events.iter().any(|e| ph(e).as_deref() == Some("f")), "flow finishes present");
+        let meta: Vec<&Json> = events.iter().filter(|e| ph(e).as_deref() == Some("M")).collect();
+        assert!(
+            meta.iter().any(|e| {
+                e.get("name").and_then(Json::as_str) == Some("process_name")
+                    && e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .is_some_and(|n| n.contains("aetr lineage"))
+            }),
+            "labelled process metadata present"
+        );
+    }
+
+    #[test]
+    fn explain_rejects_out_of_range_and_junk_indices() {
+        let err =
+            run_line(&["explain", "999999", "--rate", "1000", "--duration-ms", "2"]).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        let err = run_line(&["explain", "seven"]).unwrap_err();
+        assert!(err.to_string().contains("event index"), "{err}");
+        let err = run_line(&["explain"]).unwrap_err();
+        assert!(err.to_string().contains("event-index"), "{err}");
+    }
+
+    #[test]
+    fn validate_jsonl_reports_line_numbers() {
+        let out = std::env::temp_dir().join("aetr_cli_bad.jsonl");
+        let p = out.to_str().unwrap().to_owned();
+        fs::write(&out, "{\"index\": 0}\nnot json\n").unwrap();
+        let err =
+            run_line(&["validate", &p, "--schema", &lineage_schema_path(), "--jsonl", "true"])
+                .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "missing required fields on line 1: {msg}");
+        assert!(msg.contains("line 2"), "parse failure on line 2: {msg}");
         let _ = fs::remove_file(out);
     }
 

@@ -98,6 +98,21 @@ pub struct IdleAdvance {
     pub next_tick: Option<SimTime>,
 }
 
+/// Snapshot of the divider state a capture happened under, read by the
+/// lineage layer *before* the capturing tick resets the FSM
+/// ([`SamplerFsm::capture_context`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaptureContext {
+    /// Recursive-division level `cnt_div` at the capturing tick.
+    pub division_level: u32,
+    /// Period multiplier at the capturing tick
+    /// (`1 << division_level` under the recursive policy).
+    pub multiplier: u64,
+    /// Sampling period at the capturing tick
+    /// (`multiplier · T_min`).
+    pub sampling_period: SimDuration,
+}
+
 /// Cycle-accurate state of the Fig. 1 sampling FSM.
 ///
 /// Drive it with [`on_tick`](SamplerFsm::on_tick) at every sampling
@@ -152,6 +167,18 @@ impl SamplerFsm {
             cnt_div: 0,
             counter: 0,
             asleep: false,
+        }
+    }
+
+    /// The divider state an event captured on the *next* tick would be
+    /// attributed to. Lineage collection reads this immediately before
+    /// [`on_tick`](SamplerFsm::on_tick), whose `Sampled` arm resets
+    /// level, multiplier and period.
+    pub fn capture_context(&self) -> CaptureContext {
+        CaptureContext {
+            division_level: self.cnt_div,
+            multiplier: self.multiplier,
+            sampling_period: self.current_period(),
         }
     }
 
@@ -436,6 +463,31 @@ mod tests {
 
     fn cfg() -> ClockGenConfig {
         ClockGenConfig::prototype().with_theta_div(8).with_n_div(3)
+    }
+
+    #[test]
+    fn capture_context_tracks_the_divider_until_the_capturing_tick() {
+        let mut fsm = SamplerFsm::new(&cfg());
+        assert_eq!(
+            fsm.capture_context(),
+            CaptureContext {
+                division_level: 0,
+                multiplier: 1,
+                sampling_period: fsm.current_period(),
+            }
+        );
+        // Run past the first division; the context follows the divider.
+        for _ in 0..8 {
+            fsm.on_tick(false);
+        }
+        let ctx = fsm.capture_context();
+        assert_eq!(ctx.division_level, 1);
+        assert_eq!(ctx.multiplier, 2);
+        assert_eq!(ctx.sampling_period, fsm.current_period());
+        // A capture resets the divider; the pre-tick context is what
+        // the captured event ran under.
+        fsm.on_tick(true);
+        assert_eq!(fsm.capture_context().multiplier, 1);
     }
 
     #[test]

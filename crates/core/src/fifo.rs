@@ -112,8 +112,14 @@ pub struct FifoStats {
     pub pushed: u64,
     /// Events popped.
     pub popped: u64,
-    /// Events lost to overflow.
+    /// Events lost at a full buffer, all causes
+    /// (`dropped_overflow + dropped_degraded`).
     pub dropped: u64,
+    /// Events lost at a full buffer in normal operation.
+    pub dropped_overflow: u64,
+    /// Events lost at a full buffer while the watchdog had the
+    /// interface in degraded mode ([`AetrFifo::set_degraded`]).
+    pub dropped_degraded: u64,
     /// Highest occupancy ([`AetrFifo::len`]) observed.
     pub high_watermark: usize,
     /// Number of times the drain watermark was crossed upward.
@@ -136,11 +142,14 @@ impl fmt::Display for FifoStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "pushed {}, popped {}, dropped {} ({:.2}%), peak occupancy {}",
+            "pushed {}, popped {}, dropped {} ({:.2}%; overflow {}, degraded {}), \
+             peak occupancy {}",
             self.pushed,
             self.popped,
             self.dropped,
             self.loss_ratio() * 100.0,
+            self.dropped_overflow,
+            self.dropped_degraded,
             self.high_watermark
         )
     }
@@ -168,6 +177,7 @@ pub struct AetrFifo {
     config: FifoConfig,
     queue: VecDeque<AetrEvent>,
     stats: FifoStats,
+    degraded: bool,
 }
 
 impl AetrFifo {
@@ -185,7 +195,19 @@ impl AetrFifo {
             config.watermark,
             config.capacity_events()
         );
-        AetrFifo { config, queue: VecDeque::new(), stats: FifoStats::default() }
+        AetrFifo { config, queue: VecDeque::new(), stats: FifoStats::default(), degraded: false }
+    }
+
+    /// Marks subsequent overflow drops as degraded-mode losses, so the
+    /// health report can attribute them to the watchdog fallback rather
+    /// than ordinary congestion.
+    pub fn set_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
+    }
+
+    /// Whether drops are currently attributed to degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// The configuration.
@@ -222,12 +244,12 @@ impl AetrFifo {
         if self.is_full() {
             match self.config.overflow {
                 OverflowPolicy::DropNewest => {
-                    self.stats.dropped += 1;
+                    self.count_drop();
                     return PushOutcome::DroppedNewest;
                 }
                 OverflowPolicy::DropOldest => {
                     self.queue.pop_front();
-                    self.stats.dropped += 1;
+                    self.count_drop();
                     outcome = PushOutcome::DroppedOldest;
                 }
             }
@@ -261,6 +283,15 @@ impl AetrFifo {
     /// Accumulated statistics.
     pub fn stats(&self) -> &FifoStats {
         &self.stats
+    }
+
+    fn count_drop(&mut self) {
+        self.stats.dropped += 1;
+        if self.degraded {
+            self.stats.dropped_degraded += 1;
+        } else {
+            self.stats.dropped_overflow += 1;
+        }
     }
 }
 
@@ -372,6 +403,25 @@ mod tests {
         }
         let text = fifo.stats().to_string();
         assert!(text.contains("dropped 4"), "{text}");
+        assert!(text.contains("overflow 4"), "{text}");
+    }
+
+    #[test]
+    fn drops_split_by_degraded_mode() {
+        let mut fifo = tiny(2, OverflowPolicy::DropNewest);
+        for i in 0..4 {
+            fifo.push(ev(i));
+        }
+        fifo.push(ev(4)); // normal overflow
+        fifo.set_degraded(true);
+        assert!(fifo.is_degraded());
+        fifo.push(ev(5));
+        fifo.push(ev(6)); // two degraded-mode drops
+        let stats = fifo.stats();
+        assert_eq!(stats.dropped, 3);
+        assert_eq!(stats.dropped_overflow, 1);
+        assert_eq!(stats.dropped_degraded, 2);
+        assert_eq!(stats.dropped, stats.dropped_overflow + stats.dropped_degraded);
     }
 
     #[test]

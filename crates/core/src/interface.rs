@@ -15,6 +15,7 @@
 //! use this for architectural effects (handshake backpressure, FIFO
 //! overflow, I2S saturation, wake latency) and validation.
 
+use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
@@ -23,7 +24,7 @@ use serde::{Deserialize, Serialize};
 use aetr_aer::handshake::{HandshakeLog, HandshakeSender, HandshakeTiming};
 use aetr_aer::spike::{Spike, SpikeTrain};
 use aetr_clockgen::config::{ClockGenConfig, ClockGenConfigError};
-use aetr_clockgen::fsm::{FsmAction, IdleBoundary, IdleSegment, SamplerFsm};
+use aetr_clockgen::fsm::{CaptureContext, FsmAction, IdleBoundary, IdleSegment, SamplerFsm};
 use aetr_faults::{
     FaultInjector, FaultKind, FaultPlan, HealthMonitor, InterfaceHealthReport, WatchdogConfig,
 };
@@ -31,6 +32,7 @@ use aetr_power::meter::PowerMeter;
 use aetr_power::model::{ActivityInput, PowerModel, PowerReport};
 use aetr_sim::queue::EventQueue;
 use aetr_sim::time::{SimDuration, SimTime};
+use aetr_telemetry::lineage::{Capture, DropCause, EventLineage};
 use aetr_telemetry::registry::{CounterId, GaugeId, HistogramId};
 use aetr_telemetry::span::{OpenSpan, SpanKind};
 pub use aetr_telemetry::{Telemetry, TelemetryConfig, TelemetrySnapshot};
@@ -38,7 +40,7 @@ pub use aetr_telemetry::{Telemetry, TelemetryConfig, TelemetrySnapshot};
 use crate::aetr_format::{AetrEvent, Timestamp};
 use crate::config_bus::RegisterFile;
 use crate::crossbar::{Crossbar, SinkPort, SourcePort};
-use crate::fifo::{AetrFifo, FifoConfig, FifoStats};
+use crate::fifo::{AetrFifo, FifoConfig, FifoStats, PushOutcome};
 use crate::front_end::{FrontEndConfig, InputMonitor};
 use crate::i2s::{I2sConfig, I2sStream, I2sTransmitter};
 
@@ -401,6 +403,34 @@ impl AerToI2sInterface {
     }
 }
 
+/// Per-event lineage bookkeeping (DESIGN.md §14), active only when
+/// [`TelemetryConfig::lineage_enabled`]. Pure observation: nothing here
+/// feeds back into the simulation, so enabling it cannot perturb the
+/// report — and the fast-forward engine needs no hooks at all, because
+/// every field below is written on a per-event code path shared by both
+/// engines (quiet stretches have no captures, wakes, handshakes, FIFO
+/// or I2S activity by the `idle_at` precondition).
+struct LineageState {
+    log: aetr_telemetry::lineage::LineageLog,
+    /// Capture indices of the events currently buffered, in FIFO
+    /// order — a shadow of `AetrFifo`'s queue, so pops can be matched
+    /// back to their records.
+    fifo_mirror: VecDeque<u32>,
+    /// An oscillator wake is in flight, started at this instant.
+    wake_started: Option<SimTime>,
+    /// The last completed wake `(started, done)`, pending attribution
+    /// to the woken event's capture.
+    wake_done: Option<(SimTime, SimTime)>,
+    /// Capture index of the event whose handshake has not seen its
+    /// `ACK` rise yet.
+    awaiting_ack: Option<u32>,
+    /// Previous event's arrival (`t = 0` before the first), the origin
+    /// of the measured inter-event interval.
+    prev_arrival: SimTime,
+    /// Arrival → end-of-I2S-frame latency distribution.
+    e2e_latency: HistogramId,
+}
+
 /// Telemetry state of a run: the collector plus pre-registered metric
 /// handles and open-span bookkeeping.
 ///
@@ -434,6 +464,8 @@ struct TelState {
     wake_recovery_open: Option<OpenSpan>,
     // Next due time of the live sampler (`None` = sampling off).
     next_sample: Option<SimTime>,
+    // Per-event lineage bookkeeping (`None` unless requested).
+    lineage: Option<LineageState>,
 }
 
 impl TelState {
@@ -463,6 +495,20 @@ impl TelState {
             "interface.handshake.capture_latency_ns",
             vec![100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0, 10_000_000.0],
         );
+        let lineage = config.lineage_enabled().then(|| LineageState {
+            log: aetr_telemetry::lineage::LineageLog::new(),
+            fifo_mirror: VecDeque::new(),
+            wake_started: None,
+            wake_done: None,
+            awaiting_ack: None,
+            prev_arrival: SimTime::ZERO,
+            // Arrival → wire latency: a drained frame takes ~4.3 µs on
+            // the 15 MHz link, watermark batching stretches to ms.
+            e2e_latency: m.histogram(
+                "interface.lineage.e2e_latency_ns",
+                vec![1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9],
+            ),
+        });
         let next_sample = tel.sample_cadence().map(|c| SimTime::ZERO + c);
         Some(Box::new(TelState {
             tel,
@@ -485,6 +531,7 @@ impl TelState {
             ack_recovery_open: None,
             wake_recovery_open: None,
             next_sample,
+            lineage,
         }))
     }
 
@@ -506,6 +553,25 @@ impl TelState {
         self.clock_arg = arg;
     }
 
+    /// Lineage: attributes one transmitted frame's `pair` events to
+    /// their records — FIFO dequeue and I2S window, the frame-slip loss
+    /// cause when the receiver dropped the frame, and the end-to-end
+    /// latency observation for delivered events. No-op without lineage.
+    fn record_transmission(&mut self, pair: u64, start: SimTime, done: SimTime, slipped: bool) {
+        let Some(ls) = self.lineage.as_mut() else { return };
+        for _ in 0..pair {
+            let Some(idx) = ls.fifo_mirror.pop_front() else { break };
+            let Some(r) = ls.log.get_mut(idx) else { continue };
+            r.set_transmitted(start, done);
+            if slipped {
+                r.drop_cause = DropCause::FrameSlip;
+            } else {
+                let e2e_ns = done.saturating_duration_since(r.arrival).as_ns() as f64;
+                self.tel.metrics.observe(ls.e2e_latency, e2e_ns);
+            }
+        }
+    }
+
     /// Finalises the collector: closes the last residency interval at
     /// `end`, folds the health counters into the registry under their
     /// shared `interface.health.*` names, and snapshots.
@@ -525,6 +591,9 @@ impl TelState {
         for (name, value) in health.metrics() {
             let id = self.tel.metrics.counter(name);
             self.tel.metrics.inc(id, value);
+        }
+        if let Some(ls) = self.lineage.take() {
+            self.tel.lineage = ls.log;
         }
         let sim_events = self.tel.metrics.counter_value(self.events_captured);
         self.tel.into_snapshot(sim_events, queue_ops)
@@ -630,7 +699,15 @@ impl<'a> Runner<'a> {
             health: HealthMonitor::new(),
             pending_ack: None,
             degraded: false,
-            tel: TelState::new(telemetry),
+            tel: {
+                let mut tel = TelState::new(telemetry);
+                if let Some(ls) = tel.as_deref_mut().and_then(|ts| ts.lineage.as_mut()) {
+                    // One record per captured spike; reserving up front
+                    // avoids re-copying the wide records on Vec growth.
+                    ls.log.reserve(spikes.len());
+                }
+                tel
+            },
         }
     }
 
@@ -679,11 +756,12 @@ impl<'a> Runner<'a> {
             let second = self.fifo.pop();
             let pair = 1 + u64::from(second.is_some());
             t = self.i2s.send_pair(t, first, second).expect("sequential drain cannot overlap");
-            self.maybe_slip_frame();
+            let slipped = self.maybe_slip_frame();
             if let Some(ts) = self.tel.as_deref_mut() {
                 ts.tel.metrics.inc(ts.i2s_frames, 1);
                 ts.tel.spans.record(SpanKind::I2sFrame, "frame", start, t, Some(pair));
                 ts.tel.metrics.set_gauge(ts.fifo_occupancy, self.fifo.len() as f64);
+                ts.record_transmission(pair, start, t, slipped);
             }
         }
 
@@ -789,6 +867,10 @@ impl<'a> Runner<'a> {
         if let Some(ts) = self.tel.as_deref_mut() {
             ts.tel.metrics.inc(ts.wakes, 1);
             ts.wake_open = Some(ts.tel.spans.open(SpanKind::Wake, "wake", t));
+            if let Some(ls) = ts.lineage.as_mut() {
+                ls.wake_started = Some(t);
+                ls.wake_done = None;
+            }
         }
         let due = t + self.cfg.clock.ring.wake_latency;
         if self.injector.fail_wake() {
@@ -833,6 +915,14 @@ impl<'a> Runner<'a> {
             }
             if let Some(h) = ts.wake_recovery_open.take() {
                 ts.tel.spans.close(h, t);
+            }
+            if let Some(ls) = ts.lineage.as_mut() {
+                if let Some(started) = ls.wake_started.take() {
+                    // Retries included: the penalty spans the whole
+                    // episode, from the wake request to the edge that
+                    // finally came up.
+                    ls.wake_done = Some((started, t));
+                }
             }
         }
         let frozen = self.fsm.wake();
@@ -957,14 +1047,20 @@ impl<'a> Runner<'a> {
         } else {
             self.monitor.on_tick(t)
         };
+        // Divider state *before* the tick: the `Sampled` arm resets
+        // level and period, but the captured event ran under — and its
+        // lineage is attributed to — the pre-capture values.
+        let ctx = self.fsm.capture_context();
         match self.fsm.on_tick(pending) {
             FsmAction::Sampled { timestamp_ticks } => {
-                let ticks = self.wake_frozen.take().unwrap_or(timestamp_ticks);
+                let frozen = self.wake_frozen.take();
+                let woke = frozen.is_some();
+                let ticks = frozen.unwrap_or(timestamp_ticks);
                 self.meter.clock_multiplier(t, 1); // reset to T_min
                 if let Some(ts) = self.tel.as_deref_mut() {
                     ts.clock_transition(t, "full-rate", Some(1));
                 }
-                self.capture_event(t, ticks);
+                self.capture_event(t, ticks, woke, ctx);
             }
             FsmAction::Divided { multiplier } => {
                 self.meter.clock_multiplier(t, multiplier);
@@ -995,7 +1091,7 @@ impl<'a> Runner<'a> {
             .expect("tick period is positive");
     }
 
-    fn capture_event(&mut self, t: SimTime, ticks: u64) {
+    fn capture_event(&mut self, t: SimTime, ticks: u64, woke: bool, ctx: CaptureContext) {
         let Some(addr) = self.monitor.sampled_address() else {
             // A glitch made the synchroniser fire with nothing latched
             // (possible only under injected faults); nothing to capture.
@@ -1016,10 +1112,51 @@ impl<'a> Runner<'a> {
         };
         self.events.push(TimestampedEvent { request, detection: t, event });
         self.meter.event(1);
+        let t_min_ps = self.base.as_ps();
+        let counter_max = self.cfg.clock.counter_max();
+        // Capture index of this event's lineage record, if one exists.
+        let mut lineage_idx = None;
         if let Some(ts) = self.tel.as_deref_mut() {
             ts.tel.metrics.inc(ts.events_captured, 1);
             let latency_ns = t.saturating_duration_since(request).as_ns() as f64;
             ts.tel.metrics.observe(ts.capture_latency, latency_ns);
+            if let Some(ls) = ts.lineage.as_mut() {
+                let index = ls.log.len() as u32;
+                let wake_penalty = match (woke, ls.wake_done.take()) {
+                    (true, Some((started, done))) => done.saturating_duration_since(started),
+                    _ => SimDuration::ZERO,
+                };
+                // Signed quantization error of the measured interval,
+                // in fractional T_min ticks. The picosecond terms are
+                // exact in i128; their difference fits i64 comfortably
+                // (simulated horizons are far below 2^63 ps), and the
+                // i64 → f64 cast is a single instruction where the
+                // i128 → f64 one is a libcall — this is the hot path.
+                let measured_ps = ticks as i128 * t_min_ps as i128;
+                let true_ps = request.as_ps() as i128 - ls.prev_arrival.as_ps() as i128;
+                let quantization_error_ticks =
+                    (measured_ps - true_ps) as i64 as f64 / t_min_ps as f64;
+                ls.prev_arrival = request;
+                ls.log.push(EventLineage::captured(Capture {
+                    index,
+                    address: addr.value(),
+                    arrival: request,
+                    detection: t,
+                    timestamp_ticks: ticks,
+                    // Frozen-at-shutdown or clamped counters mark the
+                    // interval as "longer than measurable", not a
+                    // measurement.
+                    saturated: woke || ticks >= counter_max,
+                    division_level: ctx.division_level,
+                    multiplier: ctx.multiplier,
+                    sampling_period: ctx.sampling_period,
+                    woke,
+                    wake_penalty,
+                    quantization_error_ticks,
+                }));
+                ls.awaiting_ack = Some(index);
+                lineage_idx = Some(index);
+            }
         }
 
         // Route through the crossbar into the FIFO. An injected bit
@@ -1034,8 +1171,9 @@ impl<'a> Runner<'a> {
             let stored = AetrEvent::from_word(word);
             let outcome = self.fifo.push(stored);
             if outcome.lost_an_event() {
-                self.health.fifo_drop();
+                self.health.fifo_drop(self.degraded);
             }
+            let degraded = self.degraded;
             if let Some(ts) = self.tel.as_deref_mut() {
                 // Mirror `FifoStats` semantics exactly: `pushed` counts
                 // stored events, `dropped` counts losses of either
@@ -1049,6 +1187,47 @@ impl<'a> Runner<'a> {
                 let depth = self.fifo.len() as f64;
                 ts.tel.metrics.set_gauge(ts.fifo_occupancy, depth);
                 ts.tel.metrics.observe(ts.fifo_depth, depth);
+                if let (Some(ls), Some(idx)) = (ts.lineage.as_mut(), lineage_idx) {
+                    match outcome {
+                        PushOutcome::Stored => {
+                            ls.fifo_mirror.push_back(idx);
+                            if let Some(r) = ls.log.get_mut(idx) {
+                                r.set_fifo_enqueue(t);
+                            }
+                        }
+                        PushOutcome::DroppedNewest => {
+                            if let Some(r) = ls.log.get_mut(idx) {
+                                r.drop_cause = if degraded {
+                                    DropCause::Degraded
+                                } else {
+                                    DropCause::Overflow
+                                };
+                            }
+                        }
+                        PushOutcome::DroppedOldest => {
+                            // The incoming event is stored; the oldest
+                            // buffered one was displaced to make room.
+                            if let Some(victim) = ls.fifo_mirror.pop_front() {
+                                if let Some(r) = ls.log.get_mut(victim) {
+                                    r.drop_cause = DropCause::Displaced;
+                                    r.set_fifo_dequeue(t);
+                                }
+                            }
+                            ls.fifo_mirror.push_back(idx);
+                            if let Some(r) = ls.log.get_mut(idx) {
+                                r.set_fifo_enqueue(t);
+                            }
+                        }
+                    }
+                }
+            }
+        } else if let Some(ts) = self.tel.as_deref_mut() {
+            // The crossbar refused the route: the event never reached
+            // the buffer.
+            if let (Some(ls), Some(idx)) = (ts.lineage.as_mut(), lineage_idx) {
+                if let Some(r) = ls.log.get_mut(idx) {
+                    r.drop_cause = DropCause::NotRouted;
+                }
             }
         }
         self.regs.set_status(self.fifo.len() as u32);
@@ -1102,6 +1281,15 @@ impl<'a> Runner<'a> {
             if let Some(h) = ts.handshake_open.take() {
                 ts.tel.spans.close(h, ack_fall);
             }
+            if let Some(ls) = ts.lineage.as_mut() {
+                // The record keeps the instant ACK actually rose, even
+                // when a malform fault scrambles the *logged* edges.
+                if let Some(idx) = ls.awaiting_ack.take() {
+                    if let Some(r) = ls.log.get_mut(idx) {
+                        r.set_ack_rise(ack_rise);
+                    }
+                }
+            }
         }
         if self.injector.stick_req() {
             // REQ fails to fall: the synchroniser latch stays set and
@@ -1121,6 +1309,15 @@ impl<'a> Runner<'a> {
             return; // stale retry; the handshake already resolved
         }
         self.health.ack_retry();
+        if let Some(ts) = self.tel.as_deref_mut() {
+            if let Some(ls) = ts.lineage.as_mut() {
+                if let Some(idx) = ls.awaiting_ack {
+                    if let Some(r) = ls.log.get_mut(idx) {
+                        r.ack_retries += 1;
+                    }
+                }
+            }
+        }
         if self.injector.lose_ack() {
             self.health.lost_ack();
             if attempt + 1 >= self.watchdog.max_ack_retries {
@@ -1137,6 +1334,11 @@ impl<'a> Runner<'a> {
                         // The handshake never completed; the span ends
                         // at the abort.
                         ts.tel.spans.close(h, t);
+                    }
+                    if let Some(ls) = ts.lineage.as_mut() {
+                        // ACK never rose for this event; its record
+                        // keeps `ack_rise()` = None as the abort marker.
+                        ls.awaiting_ack = None;
                     }
                 }
                 self.sender.abort(t);
@@ -1192,17 +1394,23 @@ impl<'a> Runner<'a> {
         }
         self.degraded = true;
         self.health.entered_degraded();
+        // From here on, losses at a full buffer are the watchdog
+        // fallback's fault, not ordinary congestion.
+        self.fifo.set_degraded(true);
         self.fsm.reconfigure(&self.cfg.clock.degraded_fallback(self.watchdog.degraded_n_div_clamp));
     }
 
     /// Applies an injected receiver-side frame slip to the most recent
-    /// I2S frame.
-    fn maybe_slip_frame(&mut self) {
+    /// I2S frame; `true` when a frame was actually dropped (the lineage
+    /// layer marks its events lost instead of delivered).
+    fn maybe_slip_frame(&mut self) -> bool {
         if self.injector.slip_frame() {
             if let Some(frame) = self.i2s.drop_last_frame() {
                 self.health.frame_slip(frame.events().count() as u64);
+                return true;
             }
         }
+        false
     }
 
     fn drain_step(&mut self, t: SimTime) {
@@ -1218,12 +1426,13 @@ impl<'a> Runner<'a> {
             self.crossbar.route(SourcePort::BufferOut, s.to_word());
         }
         let done = self.i2s.send_pair(start, first, second).expect("drain respects busy_until");
-        self.maybe_slip_frame();
+        let slipped = self.maybe_slip_frame();
         if let Some(ts) = self.tel.as_deref_mut() {
             let pair = 1 + u64::from(second.is_some());
             ts.tel.metrics.inc(ts.i2s_frames, 1);
             ts.tel.spans.record(SpanKind::I2sFrame, "frame", start, done, Some(pair));
             ts.tel.metrics.set_gauge(ts.fifo_occupancy, self.fifo.len() as f64);
+            ts.record_transmission(pair, start, done, slipped);
         }
         self.regs.set_status(self.fifo.len() as u32);
         self.queue.schedule_at(done, Ev::FrameDone).expect("frame completes in the future");
@@ -1411,7 +1620,13 @@ mod tests {
         horizon: SimTime,
         plan: &aetr_faults::FaultPlan,
     ) -> (u64, u64) {
-        let tel = TelemetryConfig { enabled: true, sample_cadence: Some(SimDuration::from_us(50)) };
+        // Lineage on: snapshot equality then also pins per-event
+        // records across the engines.
+        let tel = TelemetryConfig {
+            enabled: true,
+            sample_cadence: Some(SimDuration::from_us(50)),
+            lineage: true,
+        };
         let fast = AerToI2sInterface::new(cfg)
             .unwrap()
             .with_engine(SimEngine::EventProportional)

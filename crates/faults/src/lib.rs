@@ -433,8 +433,14 @@ pub struct InterfaceHealthReport {
     pub oscillator_stalls: u64,
     /// Single-bit upsets injected into FIFO-bound words.
     pub fifo_bit_flips: u64,
-    /// Events lost to FIFO overflow (either overflow policy).
+    /// Events lost to FIFO overflow (either overflow policy;
+    /// `fifo_drops_overflow + fifo_drops_degraded`).
     pub fifo_drops: u64,
+    /// FIFO losses in normal operation.
+    pub fifo_drops_overflow: u64,
+    /// FIFO losses while the watchdog had the interface in degraded
+    /// mode.
+    pub fifo_drops_degraded: u64,
     /// I2S frames slipped by the receiver.
     pub frame_slips: u64,
     /// Events carried by those slipped frames.
@@ -473,6 +479,8 @@ impl InterfaceHealthReport {
             ("interface.health.oscillator_stalls", self.oscillator_stalls),
             ("interface.health.fifo_bit_flips", self.fifo_bit_flips),
             ("interface.health.fifo_drops", self.fifo_drops),
+            ("interface.health.fifo_drops_overflow", self.fifo_drops_overflow),
+            ("interface.health.fifo_drops_degraded", self.fifo_drops_degraded),
             ("interface.health.frame_slips", self.frame_slips),
             ("interface.health.events_lost_to_slips", self.events_lost_to_slips),
             ("interface.health.cdc_upsets", self.cdc_upsets),
@@ -610,9 +618,15 @@ impl HealthMonitor {
         self.report.fifo_bit_flips += 1;
     }
 
-    /// Records an event lost to FIFO overflow.
-    pub fn fifo_drop(&mut self) {
+    /// Records an event lost at a full FIFO, attributed to degraded
+    /// mode when the watchdog fallback was active at the time.
+    pub fn fifo_drop(&mut self, degraded: bool) {
         self.report.fifo_drops += 1;
+        if degraded {
+            self.report.fifo_drops_degraded += 1;
+        } else {
+            self.report.fifo_drops_overflow += 1;
+        }
     }
 
     /// Records a slipped I2S frame carrying `events` events.

@@ -27,6 +27,7 @@
 
 pub mod histogram;
 pub mod json;
+pub mod lineage;
 pub mod profile;
 pub mod registry;
 pub mod sampler;
@@ -36,6 +37,7 @@ use aetr_sim::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
 use crate::json::Json;
+use crate::lineage::LineageLog;
 use crate::profile::{Profiler, WallClockProfile};
 use crate::registry::MetricsRegistry;
 use crate::sampler::TimeSeries;
@@ -49,22 +51,41 @@ pub struct TelemetryConfig {
     /// Simulated-time cadence of the live sampler; `None` disables
     /// sampling while keeping metrics and spans.
     pub sample_cadence: Option<SimDuration>,
+    /// Collect per-event [`lineage::EventLineage`] records (requires
+    /// [`enabled`](Self::enabled); see DESIGN.md §14).
+    pub lineage: bool,
 }
 
 impl TelemetryConfig {
     /// Telemetry fully off (the default for `run()`).
     pub fn disabled() -> TelemetryConfig {
-        TelemetryConfig { enabled: false, sample_cadence: None }
+        TelemetryConfig { enabled: false, sample_cadence: None, lineage: false }
     }
 
     /// Metrics + spans + sampler at the default 100 µs cadence.
     pub fn enabled() -> TelemetryConfig {
-        TelemetryConfig { enabled: true, sample_cadence: Some(SimDuration::from_us(100)) }
+        TelemetryConfig {
+            enabled: true,
+            sample_cadence: Some(SimDuration::from_us(100)),
+            lineage: false,
+        }
     }
 
     /// Metrics + spans + sampler at a caller-chosen cadence.
     pub fn with_cadence(cadence: SimDuration) -> TelemetryConfig {
-        TelemetryConfig { enabled: true, sample_cadence: Some(cadence) }
+        TelemetryConfig { enabled: true, sample_cadence: Some(cadence), lineage: false }
+    }
+
+    /// Builder: additionally collect per-event lineage records.
+    pub fn with_lineage(mut self) -> TelemetryConfig {
+        self.lineage = true;
+        self
+    }
+
+    /// Whether lineage records should be collected (master switch on
+    /// *and* lineage requested).
+    pub fn lineage_enabled(&self) -> bool {
+        self.enabled && self.lineage
     }
 }
 
@@ -87,6 +108,9 @@ pub struct Telemetry {
     pub spans: SpanLog,
     /// Live sampler output.
     pub series: TimeSeries,
+    /// Per-event lineage records (filled only when
+    /// [`TelemetryConfig::lineage_enabled`]).
+    pub lineage: LineageLog,
     profiler: Option<Profiler>,
 }
 
@@ -109,6 +133,7 @@ impl Telemetry {
             metrics: MetricsRegistry::new(),
             spans: SpanLog::new(),
             series,
+            lineage: LineageLog::new(),
             profiler: config.enabled.then(Profiler::start),
         }
     }
@@ -147,6 +172,7 @@ impl Telemetry {
             metrics: self.metrics,
             spans: self.spans,
             series: self.series,
+            lineage: self.lineage,
             profile,
         }
     }
@@ -174,6 +200,9 @@ pub struct TelemetrySnapshot {
     pub spans: SpanLog,
     /// Live sampler time series.
     pub series: TimeSeries,
+    /// Per-event lineage records (empty unless lineage collection was
+    /// enabled).
+    pub lineage: LineageLog,
     /// Wall-clock profile (absent when telemetry was disabled).
     pub profile: Option<WallClockProfile>,
 }
@@ -185,6 +214,7 @@ impl PartialEq for TelemetrySnapshot {
             && self.metrics == other.metrics
             && self.spans == other.spans
             && self.series == other.series
+            && self.lineage == other.lineage
     }
 }
 
@@ -196,6 +226,7 @@ impl TelemetrySnapshot {
             metrics: MetricsRegistry::new(),
             spans: SpanLog::new(),
             series: TimeSeries::default(),
+            lineage: LineageLog::new(),
             profile: None,
         }
     }
@@ -339,9 +370,17 @@ impl TelemetrySnapshot {
         out
     }
 
-    /// Chrome `trace_event` export of the span log.
+    /// Chrome `trace_event` export of the span log, plus lineage flow
+    /// events (arrival → detection → I2S) when lineage was collected.
     pub fn to_chrome_trace(&self) -> String {
-        self.spans.to_chrome_trace()
+        self.to_chrome_trace_named("aetr")
+    }
+
+    /// Chrome `trace_event` export with a caller-chosen process name,
+    /// so traces from multiple runs stay distinguishable when merged in
+    /// Perfetto.
+    pub fn to_chrome_trace_named(&self, process: &str) -> String {
+        self.spans.to_chrome_trace_with(process, &self.lineage.chrome_flow_events())
     }
 }
 

@@ -185,28 +185,49 @@ impl SpanLog {
     }
 
     /// Serialises the log as a Chrome `trace_event` JSON document
-    /// (the `{"traceEvents": [...]}` object form).
+    /// (the `{"traceEvents": [...]}` object form) with the default
+    /// `"aetr"` process name.
+    pub fn to_chrome_trace(&self) -> String {
+        self.to_chrome_trace_with("aetr", &[])
+    }
+
+    /// Serialises the log as a Chrome `trace_event` JSON document.
     ///
     /// Each span becomes a complete (`"ph":"X"`) event; timestamps are
     /// microseconds as Chrome expects, carried as fractional values so
     /// picosecond starts survive. Tracks map to `tid`s in kind order.
-    pub fn to_chrome_trace(&self) -> String {
+    /// A `process_name` metadata record carries `process` (so traces
+    /// from multiple runs stay distinguishable when merged in
+    /// Perfetto), and `extra` holds pre-rendered JSON event objects —
+    /// e.g. lineage flow events — appended verbatim to the array.
+    pub fn to_chrome_trace_with(&self, process: &str, extra: &[String]) -> String {
         use std::fmt::Write as _;
         let tid = |kind: SpanKind| {
             SpanKind::all().iter().position(|k| *k == kind).expect("kind in table")
         };
+        let escaped: String = process
+            .chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                c if c.is_control() => vec![' '],
+                c => vec![c],
+            })
+            .collect();
         let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
-        let mut first = true;
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"{escaped}\"}}}}"
+        );
         for kind in SpanKind::all() {
             let _ = write!(
                 out,
-                "{}{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\
+                ",{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\
                  \"args\":{{\"name\":\"{}\"}}}}",
-                if first { "" } else { "," },
                 tid(kind),
                 kind.label()
             );
-            first = false;
         }
         for s in &self.spans {
             let ts_us = s.start.as_ps() as f64 / 1e6;
@@ -225,6 +246,10 @@ impl SpanLog {
                 let _ = write!(out, ",\"args\":{{\"value\":{arg}}}");
             }
             out.push('}');
+        }
+        for e in extra {
+            out.push(',');
+            out.push_str(e);
         }
         out.push_str("]}");
         out
@@ -300,11 +325,30 @@ mod tests {
         let json = log.to_chrome_trace();
         let value = crate::json::parse(&json).expect("valid json");
         let events = value.get("traceEvents").and_then(|v| v.as_array()).expect("events array");
-        // 5 thread-name metadata records + 2 spans.
-        assert_eq!(events.len(), 7);
+        // 1 process-name + 5 thread-name metadata records + 2 spans.
+        assert_eq!(events.len(), 8);
         let complete: Vec<_> =
             events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X")).collect();
         assert_eq!(complete.len(), 2);
         assert_eq!(complete[0].get("args").unwrap().get("value").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn labeled_trace_names_the_process_and_appends_extra_events() {
+        let mut log = SpanLog::new();
+        log.record(SpanKind::Handshake, "req", t(0), t(4), None);
+        let extra =
+            vec!["{\"ph\":\"s\",\"pid\":0,\"tid\":0,\"name\":\"event\",\"id\":0,\"ts\":0}"
+                .to_string()];
+        let json = log.to_chrome_trace_with("run \"7\"", &extra);
+        let value = crate::json::parse(&json).expect("valid json despite quoted label");
+        let events = value.get("traceEvents").and_then(|v| v.as_array()).expect("events array");
+        let process = &events[0];
+        assert_eq!(process.get("name").and_then(|n| n.as_str()), Some("process_name"));
+        assert_eq!(
+            process.get("args").unwrap().get("name").and_then(|n| n.as_str()),
+            Some("run \"7\"")
+        );
+        assert_eq!(events.last().unwrap().get("ph").and_then(|p| p.as_str()), Some("s"));
     }
 }

@@ -86,15 +86,25 @@ proptest! {
         let plan = FaultPlan::nominal(seed)
             .with_rates(FaultRates::protocol([0.0, 0.01, 0.05][rate_idx]))
             .schedule(SimTime::from_us(fault_at_us), FaultKind::StuckOscillator);
+        // Lineage on: fast-forwarded idle stretches must synthesize the
+        // same per-event records per-tick stepping produces.
         let tel = TelemetryConfig {
             enabled: true,
             sample_cadence: Some(SimDuration::from_us(100)),
+            lineage: true,
         };
         let horizon = SimTime::from_ms(6);
         let fast = interface(cfg, SimEngine::EventProportional)
             .run_with_telemetry(&train, horizon, &plan, &tel);
         let reference = interface(cfg, SimEngine::PerTickReference)
             .run_with_telemetry(&train, horizon, &plan, &tel);
+        // Explicit lineage-record equality first (sharper diagnostics
+        // than whole-report inequality), then the full report.
+        prop_assert_eq!(
+            fast.telemetry.lineage.records(),
+            reference.telemetry.lineage.records()
+        );
+        prop_assert_eq!(fast.telemetry.lineage.len(), fast.events.len());
         prop_assert_eq!(fast, reference);
     }
 
